@@ -1,0 +1,36 @@
+# Astra (Go reproduction) — common developer entry points.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench experiments experiments-quick cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -short -cover ./...
+
+# Reduced per-table benchmarks (batch 16/32), with allocation stats.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Regenerate every paper table/figure (takes tens of minutes).
+experiments:
+	$(GO) run ./cmd/astra-bench -experiment all
+
+experiments-quick:
+	$(GO) run ./cmd/astra-bench -experiment all -quick
+
+clean:
+	$(GO) clean ./...

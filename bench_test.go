@@ -1,0 +1,159 @@
+package astra
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§6). Each benchmark regenerates its experiment via
+// the internal harness in Quick mode (batch sizes 16/32 — the sizes the
+// paper says matter for long-tail experimentation) and reports headline
+// numbers as custom metrics. The full sweeps live behind
+// `go run ./cmd/astra-bench -experiment all`.
+//
+// Substrate micro-benchmarks at the bottom measure the simulator and
+// explorer machinery itself.
+
+import (
+	"strconv"
+	"testing"
+
+	"astra/internal/adapt"
+	"astra/internal/baselines"
+	"astra/internal/enumerate"
+	"astra/internal/gpusim"
+	"astra/internal/harness"
+	"astra/internal/kernels"
+	"astra/internal/models"
+	"astra/internal/profile"
+	"astra/internal/wire"
+)
+
+// runExperiment regenerates one paper table/figure per iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Run(id, harness.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable1GEMMLibraries(b *testing.B)       { runExperiment(b, "table1") }
+func BenchmarkSection32FusionAnomaly(b *testing.B)    { runExperiment(b, "sec32") }
+func BenchmarkFigure1AllocationConflict(b *testing.B) { runExperiment(b, "fig1") }
+func BenchmarkFigure2UpdateTree(b *testing.B)         { runExperiment(b, "fig2") }
+func BenchmarkTable2SCRNN(b *testing.B)               { runExperiment(b, "table2") }
+func BenchmarkTable3MILSTM(b *testing.B)              { runExperiment(b, "table3") }
+func BenchmarkTable4SubLSTM(b *testing.B)             { runExperiment(b, "table4") }
+func BenchmarkTable5StackedLSTMvsCuDNN(b *testing.B)  { runExperiment(b, "table5") }
+func BenchmarkTable6GNMTvsCuDNN(b *testing.B)         { runExperiment(b, "table6") }
+func BenchmarkTable7StateSpace(b *testing.B)          { runExperiment(b, "table7") }
+func BenchmarkTable8Bucketing(b *testing.B)           { runExperiment(b, "table8") }
+func BenchmarkTable9XLA(b *testing.B)                 { runExperiment(b, "table9") }
+
+// BenchmarkEndToEnd reports, per model, the paper's headline metric as
+// custom benchmark outputs: wired speedup over native PyTorch and the
+// number of configurations explored.
+func BenchmarkEndToEnd(b *testing.B) {
+	for _, name := range models.Names() {
+		b.Run(name, func(b *testing.B) {
+			build, _ := models.Get(name)
+			m := build(models.DefaultConfig(name, 16))
+			var speedup float64
+			var configs int
+			for i := 0; i < b.N; i++ {
+				nat := baselines.RunNative(m.G, gpusim.NewDevice(gpusim.P100()), baselines.PyTorch(), nil, nil)
+				s := wire.NewSession(m, wire.SessionConfig{
+					Device:  gpusim.P100(),
+					Options: enumerate.PresetOptions(enumerate.PresetFKS),
+					Runner:  wire.RunnerConfig{PerOpCPUUs: 2},
+				})
+				s.Explore()
+				speedup = nat.TimeUs / s.WiredTimeUs()
+				configs = s.Trials
+			}
+			b.ReportMetric(speedup, "speedup")
+			b.ReportMetric(float64(configs), "configs")
+		})
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+// BenchmarkSimulatorLaunch measures the discrete-event engine's kernel
+// throughput: launches + drain for a mixed two-stream workload.
+func BenchmarkSimulatorLaunch(b *testing.B) {
+	dev := gpusim.NewDevice(gpusim.P100())
+	dev.EnsureStreams(2)
+	spec := kernels.GEMM(kernels.CuBLAS, kernels.GEMMShape{M: 64, K: 512, N: 512})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1000 == 0 {
+			dev.Reset()
+		}
+		dev.Launch(i%2, spec)
+		if i%100 == 99 {
+			dev.Synchronize()
+		}
+	}
+}
+
+// BenchmarkGEMMCostModel measures the analytic kernel-spec computation.
+func BenchmarkGEMMCostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = kernels.GEMM(kernels.Library(i%3), kernels.GEMMShape{M: 8 + i%512, K: 1024, N: 1024})
+	}
+}
+
+// BenchmarkExplorerTrial measures the update-tree walk per exploration
+// trial on a 64-variable parallel tree.
+func BenchmarkExplorerTrial(b *testing.B) {
+	leaves := make([]*adapt.Tree, 64)
+	vars := make([]*adapt.Var, 64)
+	for i := range leaves {
+		vars[i] = adapt.NewVar("v"+strconv.Itoa(i), "a", "b", "c")
+		leaves[i] = adapt.LeafNode(vars[i])
+	}
+	metrics := map[string]float64{}
+	for i, v := range vars {
+		metrics[v.ID] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := profile.NewIndex()
+		e := adapt.NewExplorer(adapt.NewNode("root", adapt.Parallel, leaves...), ix)
+		for !e.Done() {
+			e.Observe(metrics)
+			e.Advance()
+		}
+	}
+}
+
+// BenchmarkEnumerate measures whole-graph compilation (fusion mining,
+// partitioning, tree construction) for the paper-scale SC-RNN.
+func BenchmarkEnumerate(b *testing.B) {
+	build, _ := models.Get("scrnn")
+	m := build(models.DefaultConfig("scrnn", 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = enumerate.Enumerate(m.G, enumerate.PresetOptions(enumerate.PresetAll))
+	}
+}
+
+// BenchmarkMiniBatchDispatch measures one wired mini-batch dispatch+DES
+// simulation for the paper-scale subLSTM.
+func BenchmarkMiniBatchDispatch(b *testing.B) {
+	build, _ := models.Get("sublstm")
+	m := build(models.DefaultConfig("sublstm", 16))
+	s := wire.NewSession(m, wire.SessionConfig{
+		Device:  gpusim.P100(),
+		Options: enumerate.PresetOptions(enumerate.PresetFK),
+		Runner:  wire.RunnerConfig{PerOpCPUUs: 2},
+	})
+	s.Explore()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,51 @@
+// Command astra-bench regenerates the tables and figures of the paper's
+// evaluation (§6) on the simulated substrate.
+//
+// Usage:
+//
+//	astra-bench -experiment table2        # one experiment
+//	astra-bench -experiment all           # everything (takes a while)
+//	astra-bench -experiment all -quick    # reduced sweeps, same shapes
+//	astra-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"astra/internal/harness"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
+	quick := flag.Bool("quick", false, "reduced batch sweeps; same qualitative shapes")
+	verbose := flag.Bool("v", false, "print per-cell progress")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(harness.Names(), "\n"))
+		return
+	}
+	opts := harness.Options{Quick: *quick}
+	if *verbose {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = harness.Names()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := harness.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "astra-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+		fmt.Fprintf(os.Stderr, "[%s took %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}

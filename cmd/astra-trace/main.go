@@ -1,0 +1,88 @@
+// Command astra-trace dumps a model's training graph in the paper's
+// textual trace format, or the enumerator's view of it: fusion groups,
+// allocation strategies, super-epoch/epoch structure, or the exploration
+// update tree.
+//
+// Usage:
+//
+//	astra-trace -model scrnn                  # the %N = op(...) trace
+//	astra-trace -model scrnn -show groups
+//	astra-trace -model stackedlstm -show tree
+//	astra-trace -model gnmt -show epochs
+//	astra-trace -model sublstm -show allocs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"astra"
+	"astra/internal/enumerate"
+)
+
+func main() {
+	model := flag.String("model", "scrnn", "model: "+strings.Join(astra.ModelNames(), ", "))
+	batch := flag.Int("batch", 16, "mini-batch size")
+	tiny := flag.Bool("tiny", false, "use the unit-test-scale configuration")
+	show := flag.String("show", "trace", "trace, groups, allocs, epochs or tree")
+	flag.Parse()
+
+	m, err := astra.BuildModel(*model, astra.ModelConfig{Batch: *batch, Tiny: *tiny})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astra-trace:", err)
+		os.Exit(1)
+	}
+	if *show == "trace" {
+		fmt.Print(m.Trace())
+		return
+	}
+	p := enumerate.Enumerate(m.Internal().G, enumerate.PresetOptions(enumerate.PresetAll))
+	switch *show {
+	case "groups":
+		for _, g := range p.Groups {
+			req := g.ReqID
+			if req == "" {
+				req = "(none)"
+			}
+			fmt.Printf("%-8s %-12s members=%-3d shared=%v contiguity-request=%s\n",
+				g.ID, g.Kind, len(g.GEMMs), g.Shared, req)
+		}
+		st := p.Stats()
+		fmt.Printf("\n%d groups covering %d of %d GEMMs\n", st.Groups, st.GroupedGEMMs, m.GEMMs())
+	case "allocs":
+		for _, a := range p.Allocs {
+			fmt.Printf("%s: satisfies {%s}, arena %d bytes\n",
+				a.Name, strings.Join(a.SatisfiedIDs(), ","), a.ArenaSize())
+		}
+	case "epochs":
+		for _, se := range p.Supers {
+			fmt.Printf("super-epoch %d: %d epochs, %d Mflop\n",
+				se.Index, len(se.Epochs), se.Flops/1e6)
+			for _, ep := range se.Epochs[:min(3, len(se.Epochs))] {
+				fmt.Printf("  epoch %d: %d units in %d equivalence classes\n",
+					ep.Index, len(ep.Units), len(ep.Classes))
+			}
+			if len(se.Epochs) > 3 {
+				fmt.Printf("  ... %d more epochs\n", len(se.Epochs)-3)
+			}
+		}
+	case "tree":
+		if p.Tree == nil {
+			fmt.Println("(no adaptive variables)")
+			return
+		}
+		fmt.Print(p.Tree.Render())
+	default:
+		fmt.Fprintf(os.Stderr, "astra-trace: unknown -show %q\n", *show)
+		os.Exit(1)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

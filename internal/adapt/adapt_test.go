@@ -1,0 +1,323 @@
+package adapt
+
+import (
+	"strings"
+	"testing"
+
+	"astra/internal/profile"
+)
+
+// drive runs the explorer against a synthetic cost model until convergence,
+// returning the trial count. metrics(e) must return the per-variable
+// measurements for the current configuration.
+func drive(t *testing.T, e *Explorer, metrics func() map[string]float64, maxTrials int) int {
+	t.Helper()
+	for !e.Done() {
+		if e.Trials() > maxTrials {
+			t.Fatalf("exploration exceeded %d trials", maxTrials)
+		}
+		e.Observe(metrics())
+		e.Advance()
+	}
+	return e.Trials()
+}
+
+func TestVarBasics(t *testing.T) {
+	v := NewVar("v", "a", "b", "c")
+	if v.Current() != 0 || v.CurrentLabel() != "a" {
+		t.Fatal("fresh var not at default")
+	}
+	v.current = 2
+	v.frozen = true
+	v.Initialize()
+	if v.Current() != 0 || v.Frozen() {
+		t.Fatal("Initialize did not reset")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewVar accepted empty labels")
+			}
+		}()
+		NewVar("x")
+	}()
+}
+
+func TestParallelExplorationIsAdditive(t *testing.T) {
+	// 5 independent variables x 3 choices: parallel exploration needs ~3
+	// trials, not 3^5 (§4.5.1's worked example).
+	ix := profile.NewIndex()
+	vars := make([]*Var, 5)
+	leaves := make([]*Tree, 5)
+	for i := range vars {
+		vars[i] = NewVar(string(rune('a'+i)), "c0", "c1", "c2")
+		leaves[i] = LeafNode(vars[i])
+	}
+	best := []int{2, 0, 1, 2, 0}
+	e := NewExplorer(NewNode("root", Parallel, leaves...), ix)
+	trials := drive(t, e, func() map[string]float64 {
+		m := map[string]float64{}
+		for i, v := range vars {
+			cost := 10.0
+			if v.Current() == best[i] {
+				cost = 1
+			}
+			m[v.ID] = cost + float64(i)
+		}
+		return m
+	}, 50)
+	if trials > 4 {
+		t.Fatalf("parallel exploration took %d trials, want <= 4", trials)
+	}
+	for i, v := range vars {
+		if !v.Frozen() || v.Current() != best[i] {
+			t.Fatalf("var %d frozen=%v choice=%d, want best %d", i, v.Frozen(), v.Current(), best[i])
+		}
+	}
+}
+
+func TestExhaustiveFindsInteractingOptimum(t *testing.T) {
+	// Two interacting variables: the best joint choice is not the best of
+	// each in isolation — exhaustive mode must still find it.
+	ix := profile.NewIndex()
+	a := NewVar("a", "0", "1")
+	b := NewVar("b", "0", "1")
+	node := NewNode("epoch", Exhaustive, LeafNode(a), LeafNode(b))
+	cost := map[[2]int]float64{
+		{0, 0}: 5, {0, 1}: 4, {1, 0}: 4, {1, 1}: 1, // interaction: (1,1) wins
+	}
+	e := NewExplorer(node, ix)
+	trials := drive(t, e, func() map[string]float64 {
+		return map[string]float64{"epoch": cost[[2]int{a.Current(), b.Current()}]}
+	}, 20)
+	if trials != 4 {
+		t.Fatalf("exhaustive over 2x2 took %d trials, want 4", trials)
+	}
+	if a.Current() != 1 || b.Current() != 1 {
+		t.Fatalf("converged to (%d,%d), want (1,1)", a.Current(), b.Current())
+	}
+}
+
+func TestExhaustiveRequiresLeaves(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhaustive accepted a subtree child")
+		}
+	}()
+	inner := NewNode("p", Parallel, LeafNode(NewVar("x", "a")))
+	NewNode("e", Exhaustive, inner)
+}
+
+func TestPrefixIsHistoryAware(t *testing.T) {
+	// Child b's best depends on child a's frozen choice. Prefix order must
+	// freeze a first and then find b's conditional best.
+	ix := profile.NewIndex()
+	a := NewVar("a", "0", "1")
+	b := NewVar("b", "0", "1")
+	node := NewNode("superepoch", Prefix, LeafNode(a), LeafNode(b))
+	// a=1 is best alone. Given a=1, b=0 is best (b=1 would be best under
+	// a=0 — the conditional structure).
+	costA := []float64{10, 5}
+	costB := map[[2]int]float64{{0, 0}: 9, {0, 1}: 3, {1, 0}: 2, {1, 1}: 6}
+	e := NewExplorer(node, ix)
+	drive(t, e, func() map[string]float64 {
+		return map[string]float64{
+			"a": costA[a.Current()],
+			"b": costA[a.Current()] + costB[[2]int{a.Current(), b.Current()}],
+		}
+	}, 20)
+	if a.Current() != 1 {
+		t.Fatalf("a converged to %d, want 1", a.Current())
+	}
+	if b.Current() != 0 {
+		t.Fatalf("b converged to %d, want 0 (conditional best under a=1)", b.Current())
+	}
+}
+
+func TestPrefixIsAdditiveInChildren(t *testing.T) {
+	// k children with c choices each: ~k*c trials, not c^k (§4.5.4).
+	ix := profile.NewIndex()
+	const k, c = 6, 4
+	vars := make([]*Var, k)
+	leaves := make([]*Tree, k)
+	for i := range vars {
+		labels := make([]string, c)
+		for j := range labels {
+			labels[j] = string(rune('0' + j))
+		}
+		vars[i] = NewVar(string(rune('a'+i)), labels...)
+		leaves[i] = LeafNode(vars[i])
+	}
+	e := NewExplorer(NewNode("se", Prefix, leaves...), ix)
+	trials := drive(t, e, func() map[string]float64 {
+		m := map[string]float64{}
+		for _, v := range vars {
+			m[v.ID] = float64(1 + (v.Current()+3)%c)
+		}
+		return m
+	}, 200)
+	if trials > k*c+k {
+		t.Fatalf("prefix exploration took %d trials, want <= %d", trials, k*c+k)
+	}
+}
+
+func TestForkExploresSubtreePerPolicyAndValidates(t *testing.T) {
+	// Policy (allocation strategy) with 2 choices; subtree has one var with
+	// 2 choices whose cost depends on the policy. Policy p1 enables the
+	// globally best config even though p0's default looks fine.
+	ix := profile.NewIndex()
+	policy := NewVar("alloc", "p0", "p1")
+	x := NewVar("x", "x0", "x1")
+	tree := NewNode("root", Fork, LeafNode(policy), LeafNode(x))
+	cost := map[[2]int]float64{
+		{0, 0}: 5, {0, 1}: 4, // under p0 the best is 4
+		{1, 0}: 6, {1, 1}: 2, // under p1 the best is 2 — global winner
+	}
+	e := NewExplorer(tree, ix)
+	trials := drive(t, e, func() map[string]float64 {
+		c := cost[[2]int{policy.Current(), x.Current()}]
+		return map[string]float64{"x": c, "alloc": c}
+	}, 50)
+	if policy.Current() != 1 {
+		t.Fatalf("policy converged to %s", policy.CurrentLabel())
+	}
+	if x.Current() != 1 {
+		t.Fatalf("x converged to %s", x.CurrentLabel())
+	}
+	// Expected trial budget: per policy, 2 subtree trials + 1 validation.
+	if trials > 8 {
+		t.Fatalf("fork took %d trials", trials)
+	}
+	// Context mangling: x must have been measured separately per policy.
+	if _, ok := ix.Lookup(profile.K("/alloc=p0", "x", "x0")); !ok {
+		t.Fatal("missing x measurement under p0 context")
+	}
+	if _, ok := ix.Lookup(profile.K("/alloc=p1", "x", "x0")); !ok {
+		t.Fatal("missing x measurement under p1 context")
+	}
+}
+
+func TestForkValidationUsesBestSubConfig(t *testing.T) {
+	// The end-to-end validation trial for each policy must run with the
+	// subtree frozen at its best choice under that policy.
+	ix := profile.NewIndex()
+	policy := NewVar("alloc", "p0", "p1")
+	x := NewVar("x", "x0", "x1")
+	tree := NewNode("root", Fork, LeafNode(policy), LeafNode(x))
+	e := NewExplorer(tree, ix)
+	sawValidation := map[string]int{}
+	drive(t, e, func() map[string]float64 {
+		cost := map[[2]int]float64{{0, 0}: 5, {0, 1}: 1, {1, 0}: 3, {1, 1}: 7}[[2]int{policy.Current(), x.Current()}]
+		if policy.Recording() {
+			sawValidation[policy.CurrentLabel()] = x.Current()
+		}
+		return map[string]float64{"x": cost, "alloc": cost}
+	}, 50)
+	if sawValidation["p0"] != 1 {
+		t.Fatalf("p0 validated with x=%d, want best x=1", sawValidation["p0"])
+	}
+	if sawValidation["p1"] != 0 {
+		t.Fatalf("p1 validated with x=%d, want best x=0", sawValidation["p1"])
+	}
+	if policy.CurrentLabel() != "p0" {
+		t.Fatalf("policy = %s, want p0 (validated 1 vs 3)", policy.CurrentLabel())
+	}
+}
+
+func TestNestedTreeConverges(t *testing.T) {
+	// A realistic composite: Fork(alloc, Parallel(fusion vars, Prefix(epochs...))).
+	ix := profile.NewIndex()
+	alloc := NewVar("alloc", "a0", "a1")
+	f1 := NewVar("fuse1", "1", "2", "4")
+	f2 := NewVar("fuse2", "1", "2", "4")
+	e1a := NewVar("e1k1", "s0", "s1")
+	e1b := NewVar("e1k2", "s0", "s1")
+	e2 := NewVar("e2k1", "s0", "s1")
+	tree := NewNode("root", Fork,
+		LeafNode(alloc),
+		NewNode("body", Parallel,
+			LeafNode(f1),
+			LeafNode(f2),
+			NewNode("se0", Prefix,
+				NewNode("epoch1", Exhaustive, LeafNode(e1a), LeafNode(e1b)),
+				LeafNode(e2),
+			),
+		),
+	)
+	e := NewExplorer(tree, ix)
+	allVars := []*Var{f1, f2, e2}
+	trials := drive(t, e, func() map[string]float64 {
+		m := map[string]float64{}
+		base := 1.0
+		if alloc.Current() == 1 {
+			base = 0.5
+		}
+		for _, v := range allVars {
+			m[v.ID] = base * float64(1+v.Current())
+		}
+		m["epoch1"] = base * float64(1+e1a.Current()+e1b.Current())
+		m["alloc"] = base * 10
+		return m
+	}, 200)
+	if alloc.CurrentLabel() != "a1" {
+		t.Fatalf("alloc = %s", alloc.CurrentLabel())
+	}
+	if trials > 60 {
+		t.Fatalf("nested exploration took %d trials", trials)
+	}
+	for _, v := range e.Vars() {
+		if !v.Frozen() {
+			t.Fatalf("var %s not frozen after convergence", v.ID)
+		}
+	}
+}
+
+func TestStuckExplorationPanics(t *testing.T) {
+	ix := profile.NewIndex()
+	v := NewVar("v", "a", "b")
+	e := NewExplorer(LeafNode(v), ix)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected stuck-exploration panic")
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		e.Observe(map[string]float64{}) // never measures v
+		e.Advance()
+	}
+}
+
+func TestTreeRenderAndSize(t *testing.T) {
+	tree := NewNode("root", Parallel,
+		LeafNode(NewVar("a", "x", "y")),
+		NewNode("e", Exhaustive, LeafNode(NewVar("b", "x")), LeafNode(NewVar("c", "x"))),
+	)
+	r := tree.Render()
+	for _, want := range []string{"+ root (parallel)", "- a [2 choices]", "+ e (exhaustive)"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("Render missing %q:\n%s", want, r)
+		}
+	}
+	if tree.Size() != 2 { // leaf a + exhaustive composite
+		t.Fatalf("Size = %d", tree.Size())
+	}
+}
+
+func TestSingleChoiceVarsConvergeImmediately(t *testing.T) {
+	ix := profile.NewIndex()
+	v := NewVar("only", "theone")
+	e := NewExplorer(LeafNode(v), ix)
+	trials := drive(t, e, func() map[string]float64 {
+		return map[string]float64{"only": 1}
+	}, 5)
+	if trials > 1 {
+		t.Fatalf("single choice took %d trials", trials)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Parallel.String() != "parallel" || Prefix.String() != "prefix" ||
+		Exhaustive.String() != "exhaustive" || Fork.String() != "fork" {
+		t.Fatal("mode names wrong")
+	}
+}

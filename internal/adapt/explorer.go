@@ -1,0 +1,299 @@
+package adapt
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"astra/internal/profile"
+)
+
+// Explorer drives an update tree through the exploration state space, one
+// configuration per mini-batch trial. Usage (by the custom-wirer):
+//
+//	e := NewExplorer(tree, index)
+//	for !e.Done() {
+//	    metrics := runMiniBatchWithCurrentChoices()
+//	    e.Observe(metrics)
+//	    e.Advance()
+//	}
+//	// every variable is now frozen at its best choice
+type Explorer struct {
+	root   *Tree
+	ix     *profile.Index
+	vars   []*Var
+	done   bool
+	trials int
+
+	// noProgress counts consecutive Advance calls that neither grew the
+	// index nor finished exploration; it guards against a custom-wirer
+	// that fails to measure the active variables.
+	noProgress int
+	lastIxLen  int
+}
+
+// NewExplorer initializes the tree and positions it at the first
+// configuration to measure.
+func NewExplorer(root *Tree, ix *profile.Index) *Explorer {
+	e := &Explorer{root: root, ix: ix, vars: root.Vars()}
+	root.Initialize()
+	ix.SetTrial(0)
+	e.done = e.setup(root, "")
+	return e
+}
+
+// Done reports whether exploration has converged: every variable frozen at
+// its best choice for its final context.
+func (e *Explorer) Done() bool { return e.done }
+
+// Trials returns the number of mini-batches consumed by exploration so far
+// — the "number of configs" of Table 7.
+func (e *Explorer) Trials() int { return e.trials }
+
+// Vars returns the tree's variables (stable order).
+func (e *Explorer) Vars() []*Var { return e.vars }
+
+// Observe records the metrics measured for the current trial. The map is
+// keyed by variable ID; only variables the walk marked as actively
+// exploring are recorded, each under its context-mangled key.
+func (e *Explorer) Observe(metrics map[string]float64) {
+	for _, v := range e.vars {
+		if !v.record {
+			continue
+		}
+		m, ok := metrics[v.ID]
+		if !ok {
+			continue
+		}
+		e.ix.Record(v.Key(), m)
+	}
+}
+
+// Advance moves the tree to the next configuration. It must be called
+// after Observe; when it returns false the exploration is complete and all
+// variables hold their best choices.
+func (e *Explorer) Advance() bool {
+	if e.done {
+		return false
+	}
+	// Progress means Observe grew the index since the last Advance; a
+	// custom-wirer that never measures the active variables would loop on
+	// the same configuration forever.
+	if e.ix.Len() == e.lastIxLen {
+		e.noProgress++
+		if e.noProgress > 10 {
+			panic(fmt.Sprintf("adapt: exploration stuck after %d trials — active variables are not being measured", e.trials))
+		}
+	} else {
+		e.noProgress = 0
+	}
+	e.lastIxLen = e.ix.Len()
+	e.trials++
+	e.ix.SetTrial(e.trials)
+	e.done = e.setup(e.root, "")
+	return !e.done
+}
+
+// setup walks the subtree, assigns contexts, selects the next choice to
+// measure for actively-exploring variables, and returns whether the
+// subtree has fully converged under ctx.
+func (e *Explorer) setup(t *Tree, ctx string) bool {
+	switch {
+	case t.Var != nil:
+		return e.setupLeaf(t.Var, ctx)
+	case t.Mode == Parallel:
+		done := true
+		for _, c := range t.Children {
+			if !e.setup(c, ctx) {
+				done = false
+			}
+		}
+		return done
+	case t.Mode == Prefix:
+		return e.setupPrefix(t, ctx)
+	case t.Mode == Exhaustive:
+		return e.setupExhaustive(t, ctx)
+	case t.Mode == Fork:
+		return e.setupFork(t, ctx)
+	}
+	panic(fmt.Sprintf("adapt: unknown mode %v", t.Mode))
+}
+
+func (e *Explorer) setupLeaf(v *Var, ctx string) bool {
+	v.ctx = ctx
+	v.record = false
+	if v.frozen && v.frozenCtx == ctx {
+		return true
+	}
+	v.frozen = false
+	for c := range v.Labels {
+		if !e.ix.Has(profile.K(ctx, v.ID, v.Labels[c])) {
+			v.current = c
+			v.record = true
+			return false
+		}
+	}
+	best, _, ok := e.ix.Best(ctx, v.ID, v.Labels)
+	if !ok {
+		panic("adapt: all choices measured but no best — empty label set?")
+	}
+	v.current = best
+	v.frozen = true
+	v.frozenCtx = ctx
+	return true
+}
+
+// setupPrefix explores children left to right. Earlier siblings freeze at
+// their best and a digest of their frozen labels becomes part of the later
+// siblings' context, making the exploration history-aware while staying
+// additive in the number of children (§4.5.4).
+func (e *Explorer) setupPrefix(t *Tree, ctx string) bool {
+	childCtx := ctx
+	for i, child := range t.Children {
+		done := e.setup(child, childCtx)
+		if !done {
+			for _, later := range t.Children[i+1:] {
+				e.pin(later, childCtx+"/pending")
+			}
+			return false
+		}
+		childCtx = ctx + "/" + t.Title + ":" + digest(child)
+	}
+	return true
+}
+
+// digest summarises the frozen choices of a subtree compactly for use as a
+// context component.
+func digest(t *Tree) string {
+	h := fnv.New32a()
+	for _, v := range t.Vars() {
+		h.Write([]byte(v.ID))
+		h.Write([]byte{'='})
+		h.Write([]byte(v.CurrentLabel()))
+		h.Write([]byte{';'})
+	}
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// pin assigns a non-final context to a subtree and marks it unrecordable:
+// it runs at its current (initialized) choices while an earlier prefix
+// sibling is still exploring.
+func (e *Explorer) pin(t *Tree, ctx string) {
+	for _, v := range t.Vars() {
+		v.ctx = ctx
+		v.record = false
+	}
+	if t.comp != nil {
+		e.applyTuple(t, t.comp.current)
+	}
+	for _, c := range t.Children {
+		if c.Var == nil {
+			e.pin(c, ctx)
+		}
+	}
+}
+
+// setupExhaustive treats the node's leaves as one composite variable over
+// the cartesian product of their choices (§4.5.3: within an epoch the
+// assignment is history-sensitive, so brute force is required).
+func (e *Explorer) setupExhaustive(t *Tree, ctx string) bool {
+	v := t.comp
+	v.ctx = ctx
+	v.record = false
+	for _, c := range t.Children {
+		c.Var.ctx = ctx
+		c.Var.record = false
+	}
+	freezeChildren := func() {
+		for _, c := range t.Children {
+			c.Var.frozen = true
+			c.Var.frozenCtx = ctx
+		}
+	}
+	if v.frozen && v.frozenCtx == ctx {
+		e.applyTuple(t, v.current)
+		freezeChildren()
+		return true
+	}
+	v.frozen = false
+	for c := range v.Labels {
+		if !e.ix.Has(profile.K(ctx, v.ID, v.Labels[c])) {
+			v.current = c
+			v.record = true
+			e.applyTuple(t, c)
+			return false
+		}
+	}
+	best, _, ok := e.ix.Best(ctx, v.ID, v.Labels)
+	if !ok {
+		panic("adapt: exhaustive node with no measurements")
+	}
+	v.current = best
+	v.frozen = true
+	v.frozenCtx = ctx
+	e.applyTuple(t, best)
+	freezeChildren()
+	return true
+}
+
+// applyTuple decomposes a composite choice index into the children's
+// individual choices (first child most significant).
+func (e *Explorer) applyTuple(t *Tree, idx int) {
+	for i := len(t.Children) - 1; i >= 0; i-- {
+		n := len(t.Children[i].Var.Labels)
+		t.Children[i].Var.current = idx % n
+		idx /= n
+	}
+}
+
+// setupFork explores the policy variable's subtree to completion under each
+// policy choice, takes one end-to-end validation measurement of the best
+// configuration per choice, and finally freezes the policy at the fastest
+// validated choice (§4.5.2).
+func (e *Explorer) setupFork(t *Tree, ctx string) bool {
+	policy := t.Children[0].Var
+	sub := t.Children[1]
+	policy.ctx = ctx
+	policy.record = false
+	subCtx := func() string {
+		return ctx + "/" + policy.ID + "=" + policy.CurrentLabel()
+	}
+	if policy.frozen && policy.frozenCtx == ctx {
+		e.setup(sub, subCtx())
+		return true
+	}
+	policy.frozen = false
+	for {
+		subDone := e.setup(sub, subCtx())
+		if !subDone {
+			return false
+		}
+		// Subtree converged under this policy choice: validate the best
+		// configuration end-to-end once, attributing the measurement to
+		// the policy choice itself.
+		if !e.ix.Has(profile.K(ctx, policy.ID, policy.CurrentLabel())) {
+			policy.record = true
+			return false
+		}
+		// Move to the next unmeasured policy choice, if any.
+		advanced := false
+		for c := range policy.Labels {
+			if !e.ix.Has(profile.K(ctx, policy.ID, policy.Labels[c])) {
+				policy.current = c
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	best, _, ok := e.ix.Best(ctx, policy.ID, policy.Labels)
+	if !ok {
+		panic("adapt: fork with no validated policies")
+	}
+	policy.current = best
+	policy.frozen = true
+	policy.frozenCtx = ctx
+	e.setup(sub, subCtx())
+	return true
+}

@@ -1,0 +1,7 @@
+package adapt
+
+// Recording reports whether the explorer marked this variable for
+// measurement in the current trial. The custom-wirer uses it to decide
+// which profiling regions need event pairs (everything else is already in
+// the index).
+func (v *Var) Recording() bool { return v.record }

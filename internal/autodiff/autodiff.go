@@ -1,0 +1,163 @@
+// Package autodiff implements reverse-mode automatic differentiation over
+// the graph IR. It plays the role of the DL toolkit's automatic
+// differentiation module from §5.1 of the paper: the model author writes
+// only the forward pass; this package appends the backward pass to the same
+// graph, with provenance marked Backward.
+//
+// Two properties of the generated backward graph matter for Astra:
+//
+//   - it contains the GEMM-accumulator "fusion ladders" of §4.4.1, because
+//     gradients of values with several consumers are accumulated with add
+//     nodes fed by mm nodes; and
+//   - it accounts for roughly two-thirds of the training-step flops, as the
+//     paper observes, because each forward GEMM induces two backward GEMMs.
+package autodiff
+
+import (
+	"fmt"
+
+	"astra/internal/graph"
+	"astra/internal/tensor"
+)
+
+// Backward appends gradient computation for every parameter to g, seeding
+// at g.Loss (which must be a cross_entropy node). It fills g.Grads and
+// returns it. Nodes that do not influence the loss get no gradient.
+func Backward(g *graph.Graph) (map[*graph.Value]*graph.Value, error) {
+	if g.Loss == nil {
+		return nil, fmt.Errorf("autodiff: graph has no loss")
+	}
+	lossNode := g.Loss.Producer
+	if lossNode == nil || lossNode.Op != graph.OpCrossEntropy {
+		return nil, fmt.Errorf("autodiff: loss must be produced by cross_entropy, got %v", lossNode)
+	}
+
+	// forward snapshot: Backward appends to g.Nodes, so iterate a copy.
+	fwd := make([]*graph.Node, len(g.Nodes))
+	copy(fwd, g.Nodes)
+
+	// grads accumulates the (possibly partial) gradient value for each
+	// forward value. accumulate() chains contributions with add nodes,
+	// which is precisely what creates backward fusion ladders.
+	grads := make(map[*graph.Value]*graph.Value)
+	bprov := func(n *graph.Node) graph.Provenance {
+		p := n.Prov
+		p.Pass = graph.Backward
+		return p
+	}
+	accumulate := func(prov graph.Provenance, v *graph.Value, contrib *graph.Value) {
+		if prev, ok := grads[v]; ok {
+			grads[v] = g.AddNode(graph.OpAdd, prov, graph.Attr{}, prev, contrib)
+		} else {
+			grads[v] = contrib
+		}
+	}
+
+	// The loss gradient seed is the scalar 1; cross_entropy_grad bakes it
+	// in (together with the 1/batch factor), so the loss node is handled
+	// specially below and the seed itself never materialises.
+	seeded := false
+
+	for i := len(fwd) - 1; i >= 0; i-- {
+		n := fwd[i]
+		prov := bprov(n)
+		if n == lossNode {
+			logits, targets := n.Inputs[0], n.Inputs[1]
+			dlogits := g.AddNode(graph.OpCrossEntropyGrad, prov, graph.Attr{}, logits, targets)
+			accumulate(prov, logits, dlogits)
+			seeded = true
+			continue
+		}
+		gv, ok := grads[n.Out]
+		if !ok {
+			continue // value does not influence the loss
+		}
+		switch n.Op {
+		case graph.OpMatMul:
+			a, b := n.Inputs[0], n.Inputs[1]
+			bt := g.AddNode(graph.OpTranspose, prov, graph.Attr{}, b)
+			accumulate(prov, a, g.AddNode(graph.OpMatMul, prov, graph.Attr{}, gv, bt))
+			at := g.AddNode(graph.OpTranspose, prov, graph.Attr{}, a)
+			accumulate(prov, b, g.AddNode(graph.OpMatMul, prov, graph.Attr{}, at, gv))
+		case graph.OpAdd:
+			accumulate(prov, n.Inputs[0], gv)
+			accumulate(prov, n.Inputs[1], gv)
+		case graph.OpSub:
+			accumulate(prov, n.Inputs[0], gv)
+			accumulate(prov, n.Inputs[1], g.AddNode(graph.OpScale, prov, graph.Attr{Scalar: -1}, gv))
+		case graph.OpMul:
+			accumulate(prov, n.Inputs[0], g.AddNode(graph.OpMul, prov, graph.Attr{}, gv, n.Inputs[1]))
+			accumulate(prov, n.Inputs[1], g.AddNode(graph.OpMul, prov, graph.Attr{}, gv, n.Inputs[0]))
+		case graph.OpScale:
+			accumulate(prov, n.Inputs[0], g.AddNode(graph.OpScale, prov, graph.Attr{Scalar: n.Attr.Scalar}, gv))
+		case graph.OpSigmoid:
+			accumulate(prov, n.Inputs[0], g.AddNode(graph.OpSigmoidGrad, prov, graph.Attr{}, gv, n.Out))
+		case graph.OpTanh:
+			accumulate(prov, n.Inputs[0], g.AddNode(graph.OpTanhGrad, prov, graph.Attr{}, gv, n.Out))
+		case graph.OpReLU:
+			accumulate(prov, n.Inputs[0], g.AddNode(graph.OpReLUGrad, prov, graph.Attr{}, gv, n.Inputs[0]))
+		case graph.OpAddBias:
+			accumulate(prov, n.Inputs[0], gv)
+			accumulate(prov, n.Inputs[1], reshapeBias(g, prov, gv, n.Inputs[1].Shape))
+		case graph.OpSoftmax:
+			accumulate(prov, n.Inputs[0], g.AddNode(graph.OpSoftmaxGrad, prov, graph.Attr{}, gv, n.Out))
+		case graph.OpConcatCols:
+			off := 0
+			for _, in := range n.Inputs {
+				w := in.Shape.Cols()
+				accumulate(prov, in, g.AddNode(graph.OpSliceCols, prov, graph.Attr{Lo: off, Hi: off + w}, gv))
+				off += w
+			}
+		case graph.OpConcatRows:
+			off := 0
+			for _, in := range n.Inputs {
+				h := in.Shape.Rows()
+				accumulate(prov, in, g.AddNode(graph.OpSliceRows, prov, graph.Attr{Lo: off, Hi: off + h}, gv))
+				off += h
+			}
+		case graph.OpSliceCols:
+			total := n.Inputs[0].Shape.Cols()
+			accumulate(prov, n.Inputs[0], g.AddNode(graph.OpPadCols, prov, graph.Attr{Lo: n.Attr.Lo, N: total}, gv))
+		case graph.OpSliceRows:
+			total := n.Inputs[0].Shape.Rows()
+			accumulate(prov, n.Inputs[0], g.AddNode(graph.OpPadRows, prov, graph.Attr{Lo: n.Attr.Lo, N: total}, gv))
+		case graph.OpTranspose:
+			accumulate(prov, n.Inputs[0], g.AddNode(graph.OpTranspose, prov, graph.Attr{}, gv))
+		case graph.OpLookup:
+			table, ids := n.Inputs[0], n.Inputs[1]
+			accumulate(prov, table, g.AddNode(graph.OpLookupGrad, prov, graph.Attr{N: table.Shape.Rows()}, ids, gv))
+		case graph.OpSumRows:
+			accumulate(prov, n.Inputs[0],
+				g.AddNode(graph.OpBroadcastRows, prov, graph.Attr{N: n.Inputs[0].Shape.Rows()}, gv))
+		case graph.OpScaleCols:
+			x, s := n.Inputs[0], n.Inputs[1]
+			accumulate(prov, x, g.AddNode(graph.OpScaleCols, prov, graph.Attr{}, gv, s))
+			gx := g.AddNode(graph.OpMul, prov, graph.Attr{}, gv, x)
+			accumulate(prov, s, g.AddNode(graph.OpRowSums, prov, graph.Attr{}, gx))
+		case graph.OpRowSums:
+			accumulate(prov, n.Inputs[0],
+				g.AddNode(graph.OpBroadcastCols, prov, graph.Attr{N: n.Inputs[0].Shape.Cols()}, gv))
+		case graph.OpBroadcastCols:
+			accumulate(prov, n.Inputs[0], g.AddNode(graph.OpRowSums, prov, graph.Attr{}, gv))
+		case graph.OpCrossEntropy:
+			return nil, fmt.Errorf("autodiff: cross_entropy at node %d is not the loss", n.ID)
+		default:
+			return nil, fmt.Errorf("autodiff: no gradient rule for %v", n.Op)
+		}
+	}
+	if !seeded {
+		return nil, fmt.Errorf("autodiff: loss node not visited")
+	}
+	for _, p := range g.Params {
+		if gv, ok := grads[p]; ok {
+			g.Grads[p] = gv
+		}
+	}
+	return g.Grads, nil
+}
+
+// reshapeBias turns the [m,n] upstream gradient into the bias's own shape
+// (a [1,n] row) by summing over rows.
+func reshapeBias(g *graph.Graph, prov graph.Provenance, gv *graph.Value, biasShape tensor.Shape) *graph.Value {
+	return g.AddNode(graph.OpSumRows, prov, graph.Attr{}, gv)
+}

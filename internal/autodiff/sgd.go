@@ -1,0 +1,25 @@
+package autodiff
+
+import "astra/internal/graph"
+
+// ApplySGD performs an in-place stochastic-gradient-descent update of every
+// parameter that has a gradient in g.Grads, reading gradient tensors from
+// env (a completed graph.Run environment) and mutating params. The weight
+// update is tiny compared to the forward/backward kernels, and all explored
+// schedules are value-preserving, so training convergence is identical
+// under every dispatcher — which is why the paper reports no accuracy
+// numbers (§6.7).
+func ApplySGD(g *graph.Graph, env graph.Env, params graph.Env, lr float64) {
+	for _, p := range g.Params {
+		gv, ok := g.Grads[p]
+		if !ok {
+			continue
+		}
+		gt := env[gv]
+		pt := params[p]
+		pd, gd := pt.Data(), gt.Data()
+		for i := range pd {
+			pd[i] -= lr * gd[i]
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package distsim extends the single-GPU simulation to data-parallel
+// multi-GPU training — the §3.4 dimension the paper lists as a natural
+// fit for Astra's measurement-driven adaptation ("the choice of ideal
+// degree of parallelism ... could be taken in an automated manner with
+// runtime measurement and adaptation", §6.7).
+//
+// The model is synchronous data parallelism: each of N workers runs the
+// per-device mini-batch (batch/N rows) on its own simulated GPU, then the
+// gradients are combined with a ring all-reduce over the interconnect.
+// Scaling a recurrent model is a genuine trade-off: smaller per-device
+// batches make the (already latency-bound) GEMMs even less efficient,
+// while the all-reduce adds a communication term that grows with the
+// parameter count — so the best worker count depends on the model, the
+// batch size and the link bandwidth, and is exactly the kind of choice a
+// static cost model gets wrong.
+package distsim
+
+import (
+	"fmt"
+
+	"astra/internal/enumerate"
+	"astra/internal/gpusim"
+	"astra/internal/models"
+	"astra/internal/wire"
+)
+
+// Interconnect models the gradient-exchange fabric.
+type Interconnect struct {
+	Name string
+	// BytesPerUs is the per-link bandwidth (both directions combined).
+	BytesPerUs float64
+	// LatencyUs is the per-hop latency of one ring step.
+	LatencyUs float64
+}
+
+// PCIe returns a PCIe-3.0-x16 peer-to-peer fabric (the paper-era default
+// for multi-GPU boxes without NVLink).
+func PCIe() Interconnect { return Interconnect{Name: "pcie3", BytesPerUs: 11000, LatencyUs: 8} }
+
+// NVLink returns a first-generation NVLink fabric.
+func NVLink() Interconnect { return Interconnect{Name: "nvlink1", BytesPerUs: 38000, LatencyUs: 3} }
+
+// RingAllReduceUs returns the time to all-reduce `bytes` of gradients over
+// n workers with the classic two-phase ring: 2·(n−1) steps, each moving
+// bytes/n per link.
+func (ic Interconnect) RingAllReduceUs(bytes int64, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	steps := 2 * (n - 1)
+	perStep := float64(bytes) / float64(n) / ic.BytesPerUs
+	return float64(steps) * (perStep + ic.LatencyUs)
+}
+
+// Result reports one data-parallel configuration.
+type Result struct {
+	Workers        int
+	PerDeviceUs    float64 // compute time of one worker's mini-batch share
+	AllReduceUs    float64 // gradient exchange time
+	StepUs         float64 // compute + exchange (bulk-synchronous)
+	ThroughputRows float64 // global rows per millisecond
+}
+
+// Cluster runs Astra-wired data-parallel steps of a model across worker
+// counts.
+type Cluster struct {
+	Interconnect Interconnect
+	// Preset is the Astra adaptation level each worker wires with.
+	Preset enumerate.Preset
+	// PerOpCPUUs matches the single-GPU sessions.
+	PerOpCPUUs float64
+}
+
+// gradientBytes sums the model's parameter sizes (the all-reduce payload).
+func gradientBytes(m *models.Model) int64 {
+	var b int64
+	for _, p := range m.G.Params {
+		b += int64(p.Shape.NumElements()) * 8
+	}
+	return b
+}
+
+// Step explores and times one data-parallel configuration: the global
+// batch is split across n workers, each worker custom-wires its own
+// (batch/n)-sized replica, and the step time is the slowest worker plus
+// the ring all-reduce. Identical replicas mean one simulated worker
+// suffices (they are deterministic).
+func (c *Cluster) Step(name string, globalBatch, n int) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("distsim: worker count %d", n)
+	}
+	if globalBatch%n != 0 {
+		return Result{}, fmt.Errorf("distsim: batch %d not divisible by %d workers", globalBatch, n)
+	}
+	build, ok := models.Get(name)
+	if !ok {
+		return Result{}, fmt.Errorf("distsim: unknown model %q", name)
+	}
+	cfg := models.DefaultConfig(name, globalBatch/n)
+	m := build(cfg)
+	preset := c.Preset
+	if preset == "" {
+		preset = enumerate.PresetFK
+	}
+	perOp := c.PerOpCPUUs
+	if perOp == 0 {
+		perOp = 2
+	}
+	s := wire.NewSession(m, wire.SessionConfig{
+		Device:  gpusim.P100(),
+		Options: enumerate.PresetOptions(preset),
+		Runner:  wire.RunnerConfig{PerOpCPUUs: perOp},
+	})
+	s.Explore()
+	compute := s.WiredTimeUs()
+	comm := c.Interconnect.RingAllReduceUs(gradientBytes(m), n)
+	step := compute + comm
+	return Result{
+		Workers:        n,
+		PerDeviceUs:    compute,
+		AllReduceUs:    comm,
+		StepUs:         step,
+		ThroughputRows: float64(globalBatch) / (step / 1000),
+	}, nil
+}
+
+// BestWorkers measures every candidate worker count (Astra-style: run and
+// measure rather than model) and returns the per-count results plus the
+// index of the configuration with the highest throughput.
+func (c *Cluster) BestWorkers(name string, globalBatch int, candidates []int) ([]Result, int, error) {
+	var out []Result
+	best := -1
+	for _, n := range candidates {
+		r, err := c.Step(name, globalBatch, n)
+		if err != nil {
+			return nil, -1, err
+		}
+		out = append(out, r)
+		if best < 0 || r.ThroughputRows > out[best].ThroughputRows {
+			best = len(out) - 1
+		}
+	}
+	return out, best, nil
+}

@@ -1,0 +1,98 @@
+package distsim
+
+import (
+	"testing"
+
+	"astra/internal/enumerate"
+)
+
+func TestRingAllReduceFormula(t *testing.T) {
+	ic := Interconnect{Name: "t", BytesPerUs: 1000, LatencyUs: 2}
+	if got := ic.RingAllReduceUs(1<<20, 1); got != 0 {
+		t.Fatalf("single worker should not communicate: %v", got)
+	}
+	// 4 workers: 6 steps, each moving bytes/4.
+	bytes := int64(4000)
+	want := 6.0 * (1000.0/1000.0 + 2)
+	if got := ic.RingAllReduceUs(bytes, 4); got != want {
+		t.Fatalf("RingAllReduce = %v, want %v", got, want)
+	}
+	// Bandwidth-bound regime: time grows sublinearly with workers (the
+	// 2(n-1)/n factor approaches 2).
+	big := int64(1 << 26)
+	t2 := ic.RingAllReduceUs(big, 2)
+	t8 := ic.RingAllReduceUs(big, 8)
+	if t8 > 2*t2 {
+		t.Fatalf("ring scaling broken: n=2 %v, n=8 %v", t2, t8)
+	}
+}
+
+func TestFabrics(t *testing.T) {
+	if NVLink().BytesPerUs <= PCIe().BytesPerUs {
+		t.Fatal("NVLink should be faster than PCIe")
+	}
+	bytes := int64(1 << 24)
+	if NVLink().RingAllReduceUs(bytes, 4) >= PCIe().RingAllReduceUs(bytes, 4) {
+		t.Fatal("NVLink all-reduce should beat PCIe")
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	c := &Cluster{Interconnect: PCIe()}
+	if _, err := c.Step("scrnn", 32, 0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := c.Step("scrnn", 30, 4); err == nil {
+		t.Fatal("indivisible batch accepted")
+	}
+	if _, err := c.Step("nope", 32, 2); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestDataParallelTradeoff(t *testing.T) {
+	// The fundamental shape: per-device compute falls with more workers,
+	// all-reduce rises, and there is a sweet spot — measured, not modeled.
+	c := &Cluster{Interconnect: PCIe(), Preset: enumerate.PresetFK}
+	results, best, err := c.BestWorkers("scrnn", 64, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].PerDeviceUs >= results[i-1].PerDeviceUs {
+			t.Errorf("per-device compute did not fall: n=%d %v >= n=%d %v",
+				results[i].Workers, results[i].PerDeviceUs, results[i-1].Workers, results[i-1].PerDeviceUs)
+		}
+		if results[i].AllReduceUs <= results[i-1].AllReduceUs {
+			t.Errorf("all-reduce did not rise with workers")
+		}
+	}
+	if results[0].AllReduceUs != 0 {
+		t.Fatal("n=1 should have no all-reduce")
+	}
+	if best < 0 || results[best].ThroughputRows <= results[0].ThroughputRows*0.99 {
+		t.Fatalf("scaling never beat one worker: best=%d %+v", best, results[best])
+	}
+}
+
+func TestFasterFabricShiftsSweetSpot(t *testing.T) {
+	// On a faster interconnect the best worker count must be at least as
+	// large — the crossover moves right.
+	slow := &Cluster{Interconnect: Interconnect{Name: "slow", BytesPerUs: 1500, LatencyUs: 20}, Preset: enumerate.PresetFK}
+	fast := &Cluster{Interconnect: NVLink(), Preset: enumerate.PresetFK}
+	cands := []int{1, 2, 4, 8}
+	_, bestSlow, err := slow.BestWorkers("scrnn", 64, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bestFast, err := fast.BestWorkers("scrnn", 64, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[bestFast] < cands[bestSlow] {
+		t.Fatalf("faster fabric chose fewer workers (%d) than slower (%d)", cands[bestFast], cands[bestSlow])
+	}
+}

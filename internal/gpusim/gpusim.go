@@ -1,0 +1,542 @@
+// Package gpusim is a deterministic discrete-event simulator of a
+// P100-class GPU: the hardware substrate this reproduction substitutes for
+// the paper's physical Tesla P100 (see DESIGN.md §1).
+//
+// The simulator models exactly the hardware properties §7 of the paper
+// identifies as the ones Astra depends on, and nothing more:
+//
+//   - Predictable execution: kernel timing is a pure function of the kernel
+//     spec and the concurrency it experiences. With Autoboost off the same
+//     schedule always takes the same simulated time; with Autoboost on, a
+//     seeded clock jitter perturbs every kernel, which is what forces the
+//     paper to pin the clock via nvidia-smi.
+//   - Streams: FIFO queues that serialize their own kernels but run in
+//     parallel with other streams, synchronized only by events.
+//   - Lightweight profiling events: cudaEvent-style markers whose resolved
+//     timestamps cost nothing on the critical path.
+//   - Launch overhead: every kernel costs a fixed CPU-side dispatch time
+//     (the 5–10 µs the paper cites), so fusing small kernels pays off.
+//
+// Execution on the device is wave-quantized: a kernel is a bag of tiles;
+// each tile occupies one SM for the kernel's tile time; concurrently
+// runnable kernels share free SMs with a fair (least-allocated-first)
+// policy. Tile counts below the SM count leave the machine underutilized,
+// which is the single mechanism behind every GPU effect the paper exploits
+// (fusion wins, multi-stream wins, and the §3.2 fusion anomaly).
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"astra/internal/tensor"
+)
+
+// Config describes the simulated device.
+type Config struct {
+	// NumSMs is the number of streaming multiprocessors (56 on a P100).
+	NumSMs int
+	// LaunchOverheadUs is the CPU time consumed by one kernel launch.
+	LaunchOverheadUs float64
+	// KernelSetupUs is the device-side fixed cost before a kernel's tiles
+	// may be scheduled.
+	KernelSetupUs float64
+	// HostTransferLatencyUs and HostTransferBytesPerUs model the PCIe link
+	// used by host<->device copies (the XLA embedding pathology).
+	HostTransferLatencyUs  float64
+	HostTransferBytesPerUs float64
+	// Autoboost enables clock jitter: each kernel's tile time is scaled by
+	// a factor drawn uniformly from [1-BoostJitter, 1+BoostJitter].
+	Autoboost   bool
+	BoostJitter float64
+	// Seed drives the autoboost jitter stream.
+	Seed uint64
+}
+
+// P100 returns the configuration used throughout the evaluation, standing
+// in for the paper's Tesla P100 testbed.
+func P100() Config {
+	return Config{
+		NumSMs:                 56,
+		LaunchOverheadUs:       7,
+		KernelSetupUs:          1.5,
+		HostTransferLatencyUs:  12,
+		HostTransferBytesPerUs: 11000, // ~11 GB/s effective PCIe gen3 x16
+		BoostJitter:            0.08,
+		Seed:                   1,
+	}
+}
+
+// KernelSpec describes the device-side cost of one kernel launch. Cost
+// models live in package kernels; the simulator only executes specs.
+type KernelSpec struct {
+	Name       string
+	Tiles      int
+	TileTimeUs float64
+	SetupUs    float64 // 0 means use Config.KernelSetupUs
+}
+
+// Event is a cudaEvent-style marker. Its timestamp resolves when the
+// stream it was recorded on drains past the record point.
+type Event struct {
+	id       int
+	resolved bool
+	timeUs   float64
+}
+
+// Resolved reports whether the event's timestamp is known (i.e. the device
+// has been synchronized past it).
+func (e *Event) Resolved() bool { return e.resolved }
+
+// TimeUs returns the resolved GPU timestamp; it panics if the event has not
+// been synchronized, mirroring cudaEventElapsedTime's error on a pending
+// event.
+func (e *Event) TimeUs() float64 {
+	if !e.resolved {
+		panic("gpusim: reading unresolved event")
+	}
+	return e.timeUs
+}
+
+// Elapsed returns the elapsed time in µs between two resolved events.
+func Elapsed(start, end *Event) float64 { return end.TimeUs() - start.TimeUs() }
+
+// KernelRecord is the simulator's account of one executed kernel, used by
+// tests and by the profiler to attribute time.
+type KernelRecord struct {
+	Name       string
+	Stream     int
+	LaunchUs   float64 // CPU time at launch
+	StartUs    float64 // device time the kernel began (setup start)
+	EndUs      float64 // device time the last tile finished
+	Tiles      int
+	TileTimeUs float64
+	SMTimeUs   float64 // integral of SMs occupied over time
+}
+
+// DurationUs returns the kernel's device-side duration.
+func (k *KernelRecord) DurationUs() float64 { return k.EndUs - k.StartUs }
+
+type itemKind int
+
+const (
+	itemKernel itemKind = iota
+	itemRecord
+	itemWait
+)
+
+type item struct {
+	kind      itemKind
+	arrivalUs float64 // CPU launch time
+	kern      *kernel
+	event     *Event // record target or wait source
+}
+
+type kernel struct {
+	rec        *KernelRecord
+	setupUs    float64
+	readyAt    float64 // device time tiles become schedulable
+	started    bool
+	unassigned int // tiles not yet given to an SM group
+	inFlight   int // tiles currently executing
+	assigned   int // SMs currently held
+	jitter     float64
+}
+
+type stream struct {
+	queue     []item
+	busy      *kernel // FIFO: at most one kernel in flight per stream
+	lastDone  float64 // device time the last kernel on this stream finished
+	waitUntil float64 // earliest device time the next item may start
+}
+
+// Device is the simulated GPU plus the dispatching CPU's timeline.
+type Device struct {
+	cfg      Config
+	cpuUs    float64
+	simUs    float64
+	freeSMs  int
+	streams  []*stream
+	running  []*kernel
+	batches  batchHeap
+	records  []*KernelRecord
+	rng      *tensor.RNG
+	eventSeq int
+	smBusyUs float64 // integral of busy SMs over device time
+}
+
+// NewDevice creates a device with one stream.
+func NewDevice(cfg Config) *Device {
+	if cfg.NumSMs <= 0 {
+		panic("gpusim: NumSMs must be positive")
+	}
+	d := &Device{cfg: cfg, freeSMs: cfg.NumSMs, rng: tensor.NewRNG(cfg.Seed)}
+	d.streams = []*stream{{}}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// EnsureStreams grows the stream set to at least n streams.
+func (d *Device) EnsureStreams(n int) {
+	for len(d.streams) < n {
+		d.streams = append(d.streams, &stream{})
+	}
+}
+
+// NumStreams returns the current stream count.
+func (d *Device) NumStreams() int { return len(d.streams) }
+
+// CPUTimeUs returns the dispatching CPU's clock.
+func (d *Device) CPUTimeUs() float64 { return d.cpuUs }
+
+// AdvanceCPU adds host-side work (framework overhead, Python dispatch,
+// optimizer math) to the CPU timeline.
+func (d *Device) AdvanceCPU(us float64) { d.cpuUs += us }
+
+// Records returns every kernel executed since the last Reset, in launch
+// order.
+func (d *Device) Records() []*KernelRecord { return d.records }
+
+// SMBusyUs returns the integral of occupied SMs over device time, the basis
+// of the utilization statistics in reports.
+func (d *Device) SMBusyUs() float64 { return d.smBusyUs }
+
+// Reset clears all queues, clocks and records; streams are kept.
+func (d *Device) Reset() {
+	d.cpuUs, d.simUs = 0, 0
+	d.freeSMs = d.cfg.NumSMs
+	d.running = nil
+	d.batches = nil
+	d.records = nil
+	d.smBusyUs = 0
+	d.rng = tensor.NewRNG(d.cfg.Seed)
+	for _, s := range d.streams {
+		s.queue = nil
+		s.busy = nil
+		s.lastDone = 0
+		s.waitUntil = 0
+	}
+}
+
+// Launch enqueues a kernel on a stream. It consumes the configured launch
+// overhead on the CPU timeline and returns asynchronously, like
+// cudaLaunchKernel.
+func (d *Device) Launch(streamID int, spec KernelSpec) *KernelRecord {
+	if spec.Tiles <= 0 || spec.TileTimeUs <= 0 {
+		panic(fmt.Sprintf("gpusim: bad kernel spec %+v", spec))
+	}
+	s := d.stream(streamID)
+	d.cpuUs += d.cfg.LaunchOverheadUs
+	setup := spec.SetupUs
+	if setup == 0 {
+		setup = d.cfg.KernelSetupUs
+	}
+	jitter := 1.0
+	if d.cfg.Autoboost {
+		jitter = 1 + d.cfg.BoostJitter*(2*d.rng.Float64()-1)
+	}
+	rec := &KernelRecord{
+		Name:       spec.Name,
+		Stream:     streamID,
+		LaunchUs:   d.cpuUs,
+		Tiles:      spec.Tiles,
+		TileTimeUs: spec.TileTimeUs * jitter,
+	}
+	d.records = append(d.records, rec)
+	k := &kernel{rec: rec, setupUs: setup, unassigned: spec.Tiles, jitter: jitter}
+	s.queue = append(s.queue, item{kind: itemKernel, arrivalUs: d.cpuUs, kern: k})
+	return rec
+}
+
+// RecordEvent places a cudaEvent on the stream; it resolves when the stream
+// drains to it. Recording costs a negligible, fixed CPU time (0.2 µs),
+// which is what makes always-on profiling affordable (§5.2).
+func (d *Device) RecordEvent(streamID int) *Event {
+	s := d.stream(streamID)
+	d.cpuUs += 0.2
+	d.eventSeq++
+	e := &Event{id: d.eventSeq}
+	s.queue = append(s.queue, item{kind: itemRecord, arrivalUs: d.cpuUs, event: e})
+	return e
+}
+
+// WaitEvent makes subsequent work on the stream wait until the event
+// resolves (cudaStreamWaitEvent).
+func (d *Device) WaitEvent(streamID int, e *Event) {
+	s := d.stream(streamID)
+	d.cpuUs += 0.2
+	s.queue = append(s.queue, item{kind: itemWait, arrivalUs: d.cpuUs, event: e})
+}
+
+// Synchronize drains all streams (cudaDeviceSynchronize): the simulation
+// runs to completion and the CPU clock advances to the device completion
+// time if the device finished later.
+func (d *Device) Synchronize() {
+	d.drain()
+	if d.simUs > d.cpuUs {
+		d.cpuUs = d.simUs
+	}
+}
+
+// HostTransfer models a synchronous PCIe copy of n bytes. The CPU blocks
+// for the link latency plus serialization time after the stream drains —
+// the cost structure behind XLA's embedding pathology (§6.6).
+func (d *Device) HostTransfer(streamID int, bytes int64) {
+	d.Synchronize()
+	dur := d.cfg.HostTransferLatencyUs
+	if d.cfg.HostTransferBytesPerUs > 0 {
+		dur += float64(bytes) / d.cfg.HostTransferBytesPerUs
+	}
+	d.cpuUs += dur
+	if d.simUs < d.cpuUs {
+		d.simUs = d.cpuUs
+	}
+}
+
+func (d *Device) stream(id int) *stream {
+	if id < 0 || id >= len(d.streams) {
+		panic(fmt.Sprintf("gpusim: stream %d of %d", id, len(d.streams)))
+	}
+	return d.streams[id]
+}
+
+// ---- discrete-event engine ----
+
+type tileBatch struct {
+	doneUs float64
+	kern   *kernel
+	sms    int
+}
+
+type batchHeap []tileBatch
+
+func (h batchHeap) Len() int           { return len(h) }
+func (h batchHeap) Less(i, j int) bool { return h[i].doneUs < h[j].doneUs }
+func (h batchHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *batchHeap) push(b tileBatch) {
+	*h = append(*h, b)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].doneUs <= (*h)[i].doneUs {
+			break
+		}
+		h.Swap(i, p)
+		i = p
+	}
+}
+func (h *batchHeap) pop() tileBatch {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(*h) && (*h)[l].doneUs < (*h)[small].doneUs {
+			small = l
+		}
+		if r < len(*h) && (*h)[r].doneUs < (*h)[small].doneUs {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.Swap(i, small)
+		i = small
+	}
+	return top
+}
+
+// drain runs the event loop until every queue is empty and every kernel has
+// retired.
+func (d *Device) drain() {
+	for {
+		d.startEligibleWork()
+		d.allocateSMs()
+		next := d.nextEventTime()
+		if math.IsInf(next, 1) {
+			if d.pendingWork() {
+				panic("gpusim: deadlock — pending work with no runnable event (likely a wait on an event recorded later on the same stream)")
+			}
+			return
+		}
+		if next > d.simUs {
+			d.simUs = next
+		}
+		d.completeBatchesAt(d.simUs)
+	}
+}
+
+// startEligibleWork pops stream-queue heads that can make progress at the
+// current simulated time.
+func (d *Device) startEligibleWork() {
+	for progress := true; progress; {
+		progress = false
+		for _, s := range d.streams {
+			for len(s.queue) > 0 {
+				it := s.queue[0]
+				// Stream FIFO: nothing passes a busy kernel.
+				if s.busy != nil {
+					break
+				}
+				eligible := math.Max(it.arrivalUs, math.Max(s.lastDone, s.waitUntil))
+				switch it.kind {
+				case itemRecord:
+					// An event resolves as soon as the stream has drained
+					// to it; that can be in the simulated past.
+					it.event.resolved = true
+					it.event.timeUs = eligible
+					s.queue = s.queue[1:]
+					progress = true
+					continue
+				case itemWait:
+					if !it.event.resolved {
+						// Blocked until some other stream resolves it.
+						break
+					}
+					if it.event.timeUs > s.waitUntil {
+						s.waitUntil = it.event.timeUs
+					}
+					s.queue = s.queue[1:]
+					progress = true
+					continue
+				case itemKernel:
+					if eligible > d.simUs {
+						break
+					}
+					k := it.kern
+					k.started = true
+					k.rec.StartUs = eligible
+					k.readyAt = eligible + k.setupUs
+					s.busy = k
+					d.running = append(d.running, k)
+					s.queue = s.queue[1:]
+					progress = true
+					continue
+				}
+				break
+			}
+		}
+	}
+}
+
+// allocateSMs distributes free SMs among running kernels whose setup is
+// complete, least-allocated-first, so concurrent kernels share the machine
+// fairly the way concurrent thread-block grids do.
+func (d *Device) allocateSMs() {
+	for d.freeSMs > 0 {
+		needy := d.needyKernels()
+		if len(needy) == 0 {
+			return
+		}
+		sort.Slice(needy, func(i, j int) bool {
+			if needy[i].assigned != needy[j].assigned {
+				return needy[i].assigned < needy[j].assigned
+			}
+			return needy[i].rec.LaunchUs < needy[j].rec.LaunchUs
+		})
+		k := needy[0]
+		share := d.freeSMs / len(needy)
+		if share < 1 {
+			share = 1
+		}
+		g := share
+		if g > k.unassigned {
+			g = k.unassigned
+		}
+		k.unassigned -= g
+		k.inFlight += g
+		k.assigned += g
+		d.freeSMs -= g
+		d.batches.push(tileBatch{doneUs: d.simUs + k.rec.TileTimeUs, kern: k, sms: g})
+	}
+}
+
+func (d *Device) needyKernels() []*kernel {
+	var out []*kernel
+	for _, k := range d.running {
+		if k.unassigned > 0 && k.readyAt <= d.simUs {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// nextEventTime returns the earliest time at which the simulation state can
+// change: a tile batch completes, a kernel's setup finishes, or a stream
+// head becomes eligible.
+func (d *Device) nextEventTime() float64 {
+	next := math.Inf(1)
+	if len(d.batches) > 0 {
+		next = d.batches[0].doneUs
+	}
+	for _, k := range d.running {
+		if k.unassigned > 0 && k.readyAt > d.simUs && k.readyAt < next && d.freeSMs > 0 {
+			next = k.readyAt
+		}
+	}
+	for _, s := range d.streams {
+		if len(s.queue) == 0 || s.busy != nil {
+			continue
+		}
+		it := s.queue[0]
+		if it.kind == itemWait && !it.event.resolved {
+			continue
+		}
+		eligible := math.Max(it.arrivalUs, math.Max(s.lastDone, s.waitUntil))
+		if eligible > d.simUs && eligible < next {
+			next = eligible
+		}
+	}
+	return next
+}
+
+func (d *Device) completeBatchesAt(t float64) {
+	for len(d.batches) > 0 && d.batches[0].doneUs <= t {
+		b := d.batches.pop()
+		k := b.kern
+		k.inFlight -= b.sms
+		k.assigned -= b.sms
+		d.freeSMs += b.sms
+		d.smBusyUs += float64(b.sms) * k.rec.TileTimeUs
+		if k.unassigned == 0 && k.inFlight == 0 {
+			k.rec.EndUs = b.doneUs
+			k.rec.SMTimeUs = float64(k.rec.Tiles) * k.rec.TileTimeUs
+			d.retire(k)
+		}
+	}
+}
+
+func (d *Device) retire(k *kernel) {
+	for i, r := range d.running {
+		if r == k {
+			d.running = append(d.running[:i], d.running[i+1:]...)
+			break
+		}
+	}
+	for _, s := range d.streams {
+		if s.busy == k {
+			s.busy = nil
+			if k.rec.EndUs > s.lastDone {
+				s.lastDone = k.rec.EndUs
+			}
+		}
+	}
+}
+
+func (d *Device) pendingWork() bool {
+	if len(d.running) > 0 || len(d.batches) > 0 {
+		return true
+	}
+	for _, s := range d.streams {
+		if len(s.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package gpusim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one complete-duration event in the Chrome trace-event
+// format (chrome://tracing, Perfetto). The simulator's kernel records map
+// onto it directly: pid 0 is the device, tid is the stream.
+type TraceEvent struct {
+	Name     string  `json:"name"`
+	Phase    string  `json:"ph"`
+	TimeUs   float64 `json:"ts"`
+	DurUs    float64 `json:"dur"`
+	PID      int     `json:"pid"`
+	TID      int     `json:"tid"`
+	Category string  `json:"cat"`
+}
+
+// WriteChromeTrace exports the device's kernel records since the last
+// Reset as a Chrome trace-event JSON array, so a simulated schedule can be
+// inspected in chrome://tracing or Perfetto exactly like a real GPU
+// profile. Launch-to-start gaps become "queued" events on a separate
+// track, making launch-overhead-bound schedules visually obvious.
+func (d *Device) WriteChromeTrace(w io.Writer) error {
+	events := make([]TraceEvent, 0, 2*len(d.records))
+	for _, r := range d.records {
+		events = append(events, TraceEvent{
+			Name:     r.Name,
+			Phase:    "X",
+			TimeUs:   r.StartUs,
+			DurUs:    r.EndUs - r.StartUs,
+			PID:      0,
+			TID:      r.Stream,
+			Category: "kernel",
+		})
+		if gap := r.StartUs - r.LaunchUs; gap > 0 {
+			events = append(events, TraceEvent{
+				Name:     r.Name + " (queued)",
+				Phase:    "X",
+				TimeUs:   r.LaunchUs,
+				DurUs:    gap,
+				PID:      1,
+				TID:      r.Stream,
+				Category: "queue",
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(events); err != nil {
+		return fmt.Errorf("gpusim: trace export: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package graph
+
+// Builder provides a scoped, fluent API for emitting graph nodes. Model
+// code pushes scopes ("encoder", "lstm0", …) and timesteps; every node
+// emitted inherits the current provenance, which is what the enumerator
+// later keys fusion candidates and equivalence classes on.
+type Builder struct {
+	G    *Graph
+	prov Provenance
+}
+
+// NewBuilder wraps a graph with a forward-pass builder positioned at the
+// root scope.
+func NewBuilder(g *Graph) *Builder {
+	return &Builder{G: g, prov: Provenance{Scope: "", Timestep: -1, Pass: Forward}}
+}
+
+// Prov returns the current provenance.
+func (b *Builder) Prov() Provenance { return b.prov }
+
+// InScope runs fn with the given scope segment appended, restoring the
+// previous provenance afterwards.
+func (b *Builder) InScope(scope string, fn func()) {
+	old := b.prov
+	if b.prov.Scope == "" {
+		b.prov.Scope = scope
+	} else {
+		b.prov.Scope = b.prov.Scope + "." + scope
+	}
+	fn()
+	b.prov = old
+}
+
+// AtStep runs fn with the timestep set, restoring it afterwards.
+func (b *Builder) AtStep(t int, fn func()) {
+	old := b.prov.Timestep
+	b.prov.Timestep = t
+	fn()
+	b.prov.Timestep = old
+}
+
+// MatMul emits a GEMM node.
+func (b *Builder) MatMul(a, c *Value) *Value {
+	return b.G.AddNode(OpMatMul, b.prov, Attr{}, a, c)
+}
+
+// Add emits an elementwise addition.
+func (b *Builder) Add(x, y *Value) *Value { return b.G.AddNode(OpAdd, b.prov, Attr{}, x, y) }
+
+// Sub emits an elementwise subtraction.
+func (b *Builder) Sub(x, y *Value) *Value { return b.G.AddNode(OpSub, b.prov, Attr{}, x, y) }
+
+// Mul emits an elementwise (Hadamard) product.
+func (b *Builder) Mul(x, y *Value) *Value { return b.G.AddNode(OpMul, b.prov, Attr{}, x, y) }
+
+// Scale emits multiplication by a compile-time scalar.
+func (b *Builder) Scale(x *Value, s float64) *Value {
+	return b.G.AddNode(OpScale, b.prov, Attr{Scalar: s}, x)
+}
+
+// Sigmoid emits the logistic non-linearity.
+func (b *Builder) Sigmoid(x *Value) *Value { return b.G.AddNode(OpSigmoid, b.prov, Attr{}, x) }
+
+// Tanh emits the tanh non-linearity.
+func (b *Builder) Tanh(x *Value) *Value { return b.G.AddNode(OpTanh, b.prov, Attr{}, x) }
+
+// ReLU emits the rectifier non-linearity.
+func (b *Builder) ReLU(x *Value) *Value { return b.G.AddNode(OpReLU, b.prov, Attr{}, x) }
+
+// AddBias emits a broadcast row-bias addition.
+func (b *Builder) AddBias(x, bias *Value) *Value {
+	return b.G.AddNode(OpAddBias, b.prov, Attr{}, x, bias)
+}
+
+// Softmax emits a row-wise softmax.
+func (b *Builder) Softmax(x *Value) *Value { return b.G.AddNode(OpSoftmax, b.prov, Attr{}, x) }
+
+// ConcatCols emits a column-wise concatenation.
+func (b *Builder) ConcatCols(xs ...*Value) *Value {
+	return b.G.AddNode(OpConcatCols, b.prov, Attr{}, xs...)
+}
+
+// ConcatRows emits a row-wise concatenation.
+func (b *Builder) ConcatRows(xs ...*Value) *Value {
+	return b.G.AddNode(OpConcatRows, b.prov, Attr{}, xs...)
+}
+
+// SliceCols emits extraction of columns [lo, hi).
+func (b *Builder) SliceCols(x *Value, lo, hi int) *Value {
+	return b.G.AddNode(OpSliceCols, b.prov, Attr{Lo: lo, Hi: hi}, x)
+}
+
+// SliceRows emits extraction of rows [lo, hi).
+func (b *Builder) SliceRows(x *Value, lo, hi int) *Value {
+	return b.G.AddNode(OpSliceRows, b.prov, Attr{Lo: lo, Hi: hi}, x)
+}
+
+// Transpose emits a matrix transpose.
+func (b *Builder) Transpose(x *Value) *Value { return b.G.AddNode(OpTranspose, b.prov, Attr{}, x) }
+
+// Lookup emits an embedding-table gather.
+func (b *Builder) Lookup(table, ids *Value) *Value {
+	return b.G.AddNode(OpLookup, b.prov, Attr{}, table, ids)
+}
+
+// ScaleCols emits out[i,j] = x[i,j] * s[i,0]: per-row scaling by a column
+// vector, the attention-weighting primitive.
+func (b *Builder) ScaleCols(x, s *Value) *Value {
+	return b.G.AddNode(OpScaleCols, b.prov, Attr{}, x, s)
+}
+
+// RowSums emits the [m,1] column of per-row sums.
+func (b *Builder) RowSums(x *Value) *Value { return b.G.AddNode(OpRowSums, b.prov, Attr{}, x) }
+
+// BroadcastCols emits replication of a [m,1] column across n columns.
+func (b *Builder) BroadcastCols(x *Value, n int) *Value {
+	return b.G.AddNode(OpBroadcastCols, b.prov, Attr{N: n}, x)
+}
+
+// CrossEntropy emits the fused softmax + mean NLL loss and marks it as the
+// graph's loss output.
+func (b *Builder) CrossEntropy(logits, targets *Value) *Value {
+	v := b.G.AddNode(OpCrossEntropy, b.prov, Attr{}, logits, targets)
+	b.G.Loss = v
+	return v
+}

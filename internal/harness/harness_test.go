@@ -1,0 +1,243 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func mustRun(t *testing.T, id string) *Table {
+	t.Helper()
+	tab, err := Run(id, Options{Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s: no rows", id)
+	}
+	return tab
+}
+
+func cellF(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := tab.Rows[row][col]
+	s = strings.Fields(s)[0] // strip annotations like "(1.23)"
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell [%d][%d] = %q not numeric", tab.ID, row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func TestNamesAndUnknown(t *testing.T) {
+	if len(Names()) != 18 {
+		t.Fatalf("experiments = %v", Names())
+	}
+	if _, err := Run("tableX", Options{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab := mustRun(t, "table1")
+	// Row 0 (64x1024x4096): oai1 < cublas << oai2. Row 1: cublas best.
+	if !(cellF(t, tab, 0, 2) < cellF(t, tab, 0, 1)) {
+		t.Fatal("row 0: oai1 should beat cublas")
+	}
+	if !(cellF(t, tab, 0, 3) > 3*cellF(t, tab, 0, 1)) {
+		t.Fatal("row 0: oai2 should be pathological")
+	}
+	if !(cellF(t, tab, 1, 1) < cellF(t, tab, 1, 2) && cellF(t, tab, 1, 1) < cellF(t, tab, 1, 3)) {
+		t.Fatal("row 1: cublas should win")
+	}
+}
+
+func TestSection32Shape(t *testing.T) {
+	tab := mustRun(t, "sec32")
+	par := cellF(t, tab, 0, 1)
+	fused := cellF(t, tab, 1, 1)
+	if par >= fused {
+		t.Fatalf("anomaly not reproduced: parallel %v vs fused %v", par, fused)
+	}
+	ratio := fused / par
+	if ratio < 1.05 || ratio > 2.0 {
+		t.Fatalf("fused/parallel ratio %v implausible (paper: 211/172 = 1.23)", ratio)
+	}
+}
+
+func TestSpeedupTableShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute experiment")
+	}
+	for _, id := range []string{"table2", "table4"} {
+		tab := mustRun(t, id)
+		for r := range tab.Rows {
+			f := cellF(t, tab, r, 2)
+			fk := cellF(t, tab, r, 3)
+			fks := cellF(t, tab, r, 4)
+			all := cellF(t, tab, r, 5)
+			if f <= 1.0 {
+				t.Errorf("%s row %d: Astra_F %v <= 1", id, r, f)
+			}
+			if fk < f*0.98 || fks < fk*0.98 || all < fks*0.98 {
+				t.Errorf("%s row %d: presets not monotone: %v %v %v %v", id, r, f, fk, fks, all)
+			}
+			if all > 5 {
+				t.Errorf("%s row %d: speedup %v beyond the paper's band", id, r, all)
+			}
+		}
+		// Speedups shrink as batch grows (launch overhead amortizes).
+		if len(tab.Rows) >= 2 {
+			first := cellF(t, tab, 0, 5)
+			last := cellF(t, tab, len(tab.Rows)-1, 5)
+			if last > first {
+				t.Errorf("%s: speedup did not shrink with batch size (%v -> %v)", id, first, last)
+			}
+		}
+	}
+}
+
+func TestCuDNNTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute experiment")
+	}
+	tab := mustRun(t, "table5")
+	for r := range tab.Rows {
+		pyt := cellF(t, tab, r, 1)
+		if pyt >= 1 {
+			t.Errorf("row %d: native PyTorch (%v) should lose to cuDNN", r, pyt)
+		}
+		all := cellF(t, tab, r, 5)
+		if all < 0.85 || all > 2 {
+			t.Errorf("row %d: Astra_all rel-cuDNN %v outside plausible band", r, all)
+		}
+		if all <= pyt {
+			t.Errorf("row %d: Astra (%v) should beat native (%v)", r, all, pyt)
+		}
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute experiment")
+	}
+	tab := mustRun(t, "table7")
+	for _, row := range tab.Rows {
+		fks, _ := strconv.Atoi(row[1])
+		all, _ := strconv.Atoi(row[2])
+		if fks <= 0 || all < fks {
+			t.Errorf("%s: configs FKS=%d All=%d", row[0], fks, all)
+		}
+		if all > 20000 {
+			t.Errorf("%s: state space %d not 'a few thousand'", row[0], all)
+		}
+		ov := strings.TrimSuffix(row[4], "%")
+		frac, _ := strconv.ParseFloat(ov, 64)
+		if frac >= 0.5 {
+			t.Errorf("%s: profiling overhead %v%% >= 0.5%%", row[0], frac)
+		}
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute experiment")
+	}
+	tab := mustRun(t, "table8")
+	for _, row := range tab.Rows {
+		v, _ := strconv.ParseFloat(row[2], 64)
+		if v <= 1 {
+			t.Errorf("%s: bucketing speedup %v <= 1", row[0], v)
+		}
+		if v > 4 {
+			t.Errorf("%s: bucketing speedup %v beyond the paper's band", row[0], v)
+		}
+	}
+}
+
+func TestTable9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute experiment")
+	}
+	tab := mustRun(t, "table9")
+	for r, row := range tab.Rows {
+		xla := cellF(t, tab, r, 2)
+		astra := cellF(t, tab, r, 3)
+		if astra <= xla*0.95 {
+			t.Errorf("%s: Astra_FK (%v) should beat XLA (%v)", row[0], astra, xla)
+		}
+		if astra <= 1 {
+			t.Errorf("%s: Astra_FK (%v) should beat native TF", row[0], astra)
+		}
+	}
+	// The embedding-pathology note must report XLA < 1x native.
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "with embeddings present") {
+			found = true
+			var v float64
+			if _, err := fmt_Sscanf(n, &v); err == nil && v >= 1 {
+				t.Errorf("embedding pathology not reproduced: %v", v)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing embedding-pathology note")
+	}
+}
+
+// fmt_Sscanf pulls the first float out of the note text.
+func fmt_Sscanf(s string, v *float64) (int, error) {
+	for _, f := range strings.Fields(s) {
+		f = strings.TrimSuffix(f, "x")
+		if x, err := strconv.ParseFloat(f, 64); err == nil {
+			*v = x
+			return 1, nil
+		}
+	}
+	return 0, strconv.ErrSyntax
+}
+
+func TestFigureExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute experiment")
+	}
+	fig1 := mustRun(t, "fig1")
+	if len(fig1.Rows) < 2 {
+		t.Fatal("fig1: expected at least two allocation strategies")
+	}
+	chosen := 0
+	for _, row := range fig1.Rows {
+		if strings.Contains(row[0], "chosen") {
+			chosen++
+		}
+	}
+	if chosen != 1 {
+		t.Fatalf("fig1: %d chosen strategies", chosen)
+	}
+	fig2 := mustRun(t, "fig2")
+	joined := ""
+	for _, r := range fig2.Rows {
+		joined += r[0] + "\n"
+	}
+	for _, want := range []string{"(parallel)", "(prefix)", "(exhaustive)", "(fork)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("fig2: update tree missing %s", want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"hello"},
+	}
+	s := tab.String()
+	for _, want := range []string{"## x — demo", "long-header", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

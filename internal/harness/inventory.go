@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"fmt"
+
+	"astra/internal/enumerate"
+	"astra/internal/models"
+)
+
+func init() {
+	experiments["inventory"] = Inventory
+}
+
+// Inventory characterizes every zoo model's training graph and what the
+// enumerator finds in it — the structural context behind the evaluation
+// tables (graph sizes, fusion surface, schedule partitioning, variables).
+func Inventory(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "inventory",
+		Title: "Model and enumerator inventory (batch 16)",
+		Header: []string{
+			"Model", "nodes", "GEMMs", "units", "groups", "grouped GEMMs",
+			"requests", "allocs", "super-epochs", "epochs", "variables",
+		},
+	}
+	for _, name := range models.Names() {
+		m := buildModel(name, 16)
+		p := enumerate.Enumerate(m.G, enumerate.PresetOptions(enumerate.PresetAll))
+		st := p.Stats()
+		gs := m.G.Stats()
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprint(gs.Nodes), fmt.Sprint(gs.MatMuls),
+			fmt.Sprint(st.Units), fmt.Sprint(st.Groups), fmt.Sprint(st.GroupedGEMMs),
+			fmt.Sprint(st.Requests), fmt.Sprint(st.Allocs),
+			fmt.Sprint(st.SuperEpochs), fmt.Sprint(st.Epochs), fmt.Sprint(st.Variables),
+		})
+		o.progress("inventory %s done", name)
+	}
+	return t, nil
+}

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"fmt"
+
+	"astra/internal/baselines"
+	"astra/internal/enumerate"
+	"astra/internal/gpusim"
+	"astra/internal/models"
+	"astra/internal/wire"
+)
+
+// exploreWired compiles the model at the preset, explores to convergence
+// and returns (wired batch time, exploration trials, alloc strategies).
+func exploreWired(m *models.Model, preset enumerate.Preset) (float64, int, int) {
+	s := wire.NewSession(m, wire.SessionConfig{
+		Device:  gpusim.P100(),
+		Options: enumerate.PresetOptions(preset),
+		Runner:  wire.RunnerConfig{PerOpCPUUs: 2},
+	})
+	s.Explore()
+	return s.WiredTimeUs(), s.Trials, len(s.Plan.Allocs)
+}
+
+func buildModel(name string, batch int) *models.Model {
+	build, ok := models.Get(name)
+	if !ok {
+		panic("harness: unknown model " + name)
+	}
+	return build(models.DefaultConfig(name, batch))
+}
+
+// speedupTable renders Tables 2–4: factor speedup relative to native
+// PyTorch for the cumulative Astra presets across mini-batch sizes.
+func speedupTable(id, model string, o Options) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("%s speedup vs native PyTorch", model),
+		Header: []string{"Mini-batch", "PyT", "Astra_F", "Astra_FK", "Astra_FKS", "Astra_all"},
+	}
+	presets := []enumerate.Preset{enumerate.PresetF, enumerate.PresetFK, enumerate.PresetFKS, enumerate.PresetAll}
+	for _, batch := range o.batches() {
+		m := buildModel(model, batch)
+		nat := baselines.RunNative(m.G, gpusim.NewDevice(gpusim.P100()), baselines.PyTorch(), nil, nil)
+		row := []string{fmt.Sprint(batch), "1"}
+		for _, p := range presets {
+			wired, _, _ := exploreWired(m, p)
+			row = append(row, f2(nat.TimeUs/wired))
+			o.progress("%s %s batch=%d %s done", id, model, batch, p)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// cudnnTable renders Tables 5–6: performance relative to PyTorch+cuDNN for
+// the models (partially) covered by the hand-optimized compound kernels.
+func cudnnTable(id, model string, o Options) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("%s performance relative to cuDNN", model),
+		Header: []string{"Mini-batch", "PyT", "cuDNN", "Astra_F", "Astra_FK", "Astra_all"},
+	}
+	presets := []enumerate.Preset{enumerate.PresetF, enumerate.PresetFK, enumerate.PresetAll}
+	for _, batch := range o.batches() {
+		m := buildModel(model, batch)
+		nat := baselines.RunNative(m.G, gpusim.NewDevice(gpusim.P100()), baselines.PyTorch(), nil, nil)
+		cud, ok := baselines.RunCuDNN(m, gpusim.NewDevice(gpusim.P100()), baselines.PyTorch(), nil, nil)
+		if !ok {
+			return nil, fmt.Errorf("harness: cuDNN does not cover %s", model)
+		}
+		row := []string{fmt.Sprint(batch), f2(cud.TimeUs / nat.TimeUs), "1"}
+		for _, p := range presets {
+			wired, _, _ := exploreWired(m, p)
+			row = append(row, f2(cud.TimeUs/wired))
+			o.progress("%s %s batch=%d %s done", id, model, batch, p)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

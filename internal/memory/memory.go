@@ -1,0 +1,293 @@
+// Package memory models device memory placement for the tensors of a
+// training graph. Its job in the Astra pipeline is §4.5.2 of the paper:
+// GEMM fusion requires the fused operands to be contiguous in GPU memory,
+// different fusion groups sometimes require conflicting placements, and the
+// enumerator forks the exploration space over allocation strategies —
+// each strategy satisfying a different compatible subset of the
+// contiguity requests.
+//
+// Because the training graph is static, every value gets a persistent
+// buffer; a strategy is a complete layout of those buffers in a linear
+// arena. A fused kernel whose operands are contiguous under the active
+// strategy reads them in place; otherwise the custom-wirer must launch
+// gather copies first (kernels.Copy) and the measured schedule pays for it.
+package memory
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"astra/internal/graph"
+)
+
+// Request asks that a sequence of values be laid out adjacently, in order.
+// One request corresponds to one fusion group's operand list.
+type Request struct {
+	ID     string
+	Values []*graph.Value
+}
+
+// Bytes returns the total size of the requested block.
+func (r Request) Bytes() int64 {
+	var b int64
+	for _, v := range r.Values {
+		b += int64(v.Shape.NumElements()) * 8
+	}
+	return b
+}
+
+// Conflicts reports whether two requests cannot both be satisfied. Any
+// shared value is a conflict unless the requests are identical: a value can
+// only have one predecessor and one successor in a linear layout. (The
+// paper's cheap static resolution — dropping a single offending tensor from
+// one group — happens in the enumerator before requests are issued.)
+func Conflicts(a, b Request) bool {
+	if sameValues(a, b) {
+		return false
+	}
+	set := make(map[*graph.Value]bool, len(a.Values))
+	for _, v := range a.Values {
+		set[v] = true
+	}
+	for _, v := range b.Values {
+		if set[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func sameValues(a, b Request) bool {
+	if len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Strategy is one allocation alternative: the subset of requests laid out
+// contiguously, plus a concrete arena placement of every value.
+type Strategy struct {
+	Name      string
+	Satisfied map[string]bool
+	offsets   map[*graph.Value]int64
+	totalSize int64
+}
+
+// Contiguous reports whether the request with the given ID was satisfied.
+func (s *Strategy) Contiguous(reqID string) bool { return s.Satisfied[reqID] }
+
+// Offset returns a value's placement; ok is false for values outside the
+// graph this strategy was planned for.
+func (s *Strategy) Offset(v *graph.Value) (int64, bool) {
+	off, ok := s.offsets[v]
+	return off, ok
+}
+
+// ArenaSize returns the total arena footprint in bytes.
+func (s *Strategy) ArenaSize() int64 { return s.totalSize }
+
+// SatisfiedIDs returns the sorted satisfied request IDs (for reports).
+func (s *Strategy) SatisfiedIDs() []string {
+	ids := make([]string, 0, len(s.Satisfied))
+	for id, ok := range s.Satisfied {
+		if ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// String summarises the strategy.
+func (s *Strategy) String() string {
+	return fmt.Sprintf("%s{%s}", s.Name, strings.Join(s.SatisfiedIDs(), ","))
+}
+
+// Planner builds allocation strategies for a graph's contiguity requests.
+type Planner struct {
+	// MaxStrategies bounds the fork width of the allocation dimension so
+	// the exploration state space stays a few thousand configurations
+	// (Table 7). Zero means the default of 6.
+	MaxStrategies int
+}
+
+// Plan enumerates allocation strategies. With no conflicts it returns a
+// single strategy satisfying every request. With conflicts it returns up to
+// MaxStrategies distinct maximal compatible subsets, each seeded by a
+// different conflicted request so that every request is satisfied by at
+// least one strategy whenever possible.
+func (p *Planner) Plan(values []*graph.Value, requests []Request) []*Strategy {
+	max := p.MaxStrategies
+	if max <= 0 {
+		max = 6
+	}
+	if err := validateRequests(values, requests); err != nil {
+		panic(err)
+	}
+
+	conflict := make([][]bool, len(requests))
+	anyConflict := false
+	for i := range requests {
+		conflict[i] = make([]bool, len(requests))
+	}
+	for i := range requests {
+		for j := i + 1; j < len(requests); j++ {
+			if Conflicts(requests[i], requests[j]) {
+				conflict[i][j], conflict[j][i] = true, true
+				anyConflict = true
+			}
+		}
+	}
+
+	var pick func(seed int) []int
+	pick = func(seed int) []int {
+		// Greedy maximal independent set: take the seed, then remaining
+		// requests in descending size (bigger fusion blocks first), skipping
+		// anything conflicting with the chosen set.
+		order := make([]int, 0, len(requests))
+		for i := range requests {
+			if i != seed {
+				order = append(order, i)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ra, rb := requests[order[a]], requests[order[b]]
+			if len(ra.Values) != len(rb.Values) {
+				return len(ra.Values) > len(rb.Values)
+			}
+			return ra.ID < rb.ID
+		})
+		chosen := []int{}
+		if seed >= 0 {
+			chosen = append(chosen, seed)
+		}
+		for _, cand := range order {
+			ok := true
+			for _, c := range chosen {
+				if conflict[cand][c] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				chosen = append(chosen, cand)
+			}
+		}
+		sort.Ints(chosen)
+		return chosen
+	}
+
+	var subsets [][]int
+	if !anyConflict {
+		subsets = append(subsets, pick(-1))
+	} else {
+		seen := map[string]bool{}
+		addSubset := func(sub []int) {
+			key := fmt.Sprint(sub)
+			if !seen[key] {
+				seen[key] = true
+				subsets = append(subsets, sub)
+			}
+		}
+		addSubset(pick(-1)) // the size-greedy default
+		for i := range requests {
+			conflicted := false
+			for j := range requests {
+				if conflict[i][j] {
+					conflicted = true
+					break
+				}
+			}
+			if conflicted {
+				addSubset(pick(i))
+			}
+			if len(subsets) >= max {
+				break
+			}
+		}
+	}
+
+	strategies := make([]*Strategy, 0, len(subsets))
+	for i, sub := range subsets {
+		s := layout(fmt.Sprintf("alloc%d", i), values, requests, sub)
+		strategies = append(strategies, s)
+	}
+	return strategies
+}
+
+func validateRequests(values []*graph.Value, requests []Request) error {
+	known := make(map[*graph.Value]bool, len(values))
+	for _, v := range values {
+		known[v] = true
+	}
+	ids := map[string]bool{}
+	for _, r := range requests {
+		if r.ID == "" {
+			return fmt.Errorf("memory: request with empty ID")
+		}
+		if ids[r.ID] {
+			return fmt.Errorf("memory: duplicate request ID %q", r.ID)
+		}
+		ids[r.ID] = true
+		if len(r.Values) < 2 {
+			return fmt.Errorf("memory: request %q with fewer than 2 values", r.ID)
+		}
+		seen := map[*graph.Value]bool{}
+		for _, v := range r.Values {
+			if !known[v] {
+				return fmt.Errorf("memory: request %q references value outside the graph", r.ID)
+			}
+			if seen[v] {
+				return fmt.Errorf("memory: request %q repeats value %s", r.ID, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// layout places satisfied request blocks first (members adjacent, in
+// request order), then every remaining value, at 256-byte alignment —
+// cudaMalloc's alignment granularity.
+func layout(name string, values []*graph.Value, requests []Request, satisfied []int) *Strategy {
+	const align = 256
+	s := &Strategy{
+		Name:      name,
+		Satisfied: make(map[string]bool, len(satisfied)),
+		offsets:   make(map[*graph.Value]int64, len(values)),
+	}
+	placed := make(map[*graph.Value]bool, len(values))
+	var off int64
+	place := func(v *graph.Value) {
+		s.offsets[v] = off
+		placed[v] = true
+		off += int64(v.Shape.NumElements()) * 8
+	}
+	for _, idx := range satisfied {
+		r := requests[idx]
+		s.Satisfied[r.ID] = true
+		if placed[r.Values[0]] {
+			// An identical request already laid this block out.
+			continue
+		}
+		// Block starts aligned; members are packed back-to-back inside.
+		off = (off + align - 1) / align * align
+		for _, v := range r.Values {
+			place(v)
+		}
+	}
+	for _, v := range values {
+		if !placed[v] {
+			off = (off + align - 1) / align * align
+			place(v)
+		}
+	}
+	s.totalSize = off
+	return s
+}

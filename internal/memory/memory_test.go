@@ -1,0 +1,245 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"astra/internal/graph"
+	"astra/internal/tensor"
+)
+
+func makeValues(g *graph.Graph, n int) []*graph.Value {
+	vs := make([]*graph.Value, n)
+	for i := range vs {
+		vs[i] = g.NewValue(tensor.Shape{4, 8 + i}, "")
+	}
+	return vs
+}
+
+func TestConflicts(t *testing.T) {
+	g := graph.New()
+	v := makeValues(g, 4)
+	a := Request{ID: "a", Values: []*graph.Value{v[0], v[1]}}
+	b := Request{ID: "b", Values: []*graph.Value{v[1], v[2]}}
+	c := Request{ID: "c", Values: []*graph.Value{v[2], v[3]}}
+	if !Conflicts(a, b) {
+		t.Fatal("a/b share v1, should conflict")
+	}
+	if Conflicts(a, c) {
+		t.Fatal("a/c are disjoint, no conflict")
+	}
+	if Conflicts(a, Request{ID: "a2", Values: []*graph.Value{v[0], v[1]}}) {
+		t.Fatal("identical requests should not conflict")
+	}
+}
+
+func TestPlanNoConflictsSingleStrategy(t *testing.T) {
+	g := graph.New()
+	v := makeValues(g, 6)
+	reqs := []Request{
+		{ID: "g0", Values: []*graph.Value{v[0], v[1]}},
+		{ID: "g1", Values: []*graph.Value{v[2], v[3], v[4]}},
+	}
+	ss := (&Planner{}).Plan(g.Values, reqs)
+	if len(ss) != 1 {
+		t.Fatalf("strategies = %d, want 1", len(ss))
+	}
+	if !ss[0].Contiguous("g0") || !ss[0].Contiguous("g1") {
+		t.Fatal("conflict-free requests should all be satisfied")
+	}
+}
+
+func TestPlanForksOnConflict(t *testing.T) {
+	// Figure 1's shape: two fusion groups needing the same tensor in
+	// different blocks.
+	g := graph.New()
+	v := makeValues(g, 4)
+	reqs := []Request{
+		{ID: "fwd", Values: []*graph.Value{v[0], v[1]}},
+		{ID: "bwd", Values: []*graph.Value{v[1], v[2]}},
+	}
+	ss := (&Planner{}).Plan(g.Values, reqs)
+	if len(ss) < 2 {
+		t.Fatalf("strategies = %d, want >= 2", len(ss))
+	}
+	fwdOK, bwdOK := false, false
+	for _, s := range ss {
+		if s.Contiguous("fwd") {
+			fwdOK = true
+		}
+		if s.Contiguous("bwd") {
+			bwdOK = true
+		}
+		if s.Contiguous("fwd") && s.Contiguous("bwd") {
+			t.Fatal("a strategy satisfied conflicting requests")
+		}
+	}
+	if !fwdOK || !bwdOK {
+		t.Fatal("every conflicted request should be satisfied by some strategy")
+	}
+}
+
+func TestPlanBoundsStrategies(t *testing.T) {
+	g := graph.New()
+	v := makeValues(g, 20)
+	// A chain of pairwise conflicts: g_i = {v_i, v_{i+1}}.
+	var reqs []Request
+	for i := 0; i+1 < len(v); i++ {
+		reqs = append(reqs, Request{ID: string(rune('a' + i)), Values: []*graph.Value{v[i], v[i+1]}})
+	}
+	ss := (&Planner{MaxStrategies: 4}).Plan(g.Values, reqs)
+	if len(ss) > 4 {
+		t.Fatalf("strategies = %d, exceeds bound 4", len(ss))
+	}
+	if len(ss) < 2 {
+		t.Fatalf("strategies = %d, conflicts should fork", len(ss))
+	}
+}
+
+func TestLayoutNoOverlapAndContiguity(t *testing.T) {
+	g := graph.New()
+	v := makeValues(g, 6)
+	reqs := []Request{
+		{ID: "g0", Values: []*graph.Value{v[4], v[0], v[2]}},
+	}
+	ss := (&Planner{}).Plan(g.Values, reqs)
+	s := ss[0]
+	// Satisfied group members are adjacent and in order.
+	off0, _ := s.Offset(v[4])
+	off1, _ := s.Offset(v[0])
+	off2, _ := s.Offset(v[2])
+	if off1 != off0+int64(v[4].Shape.NumElements())*8 {
+		t.Fatalf("group members not adjacent: %d then %d", off0, off1)
+	}
+	if off2 != off1+int64(v[0].Shape.NumElements())*8 {
+		t.Fatalf("group members not adjacent: %d then %d", off1, off2)
+	}
+	// No two values overlap.
+	type span struct{ lo, hi int64 }
+	var spans []span
+	for _, val := range g.Values {
+		off, ok := s.Offset(val)
+		if !ok {
+			t.Fatalf("value %s not placed", val)
+		}
+		spans = append(spans, span{off, off + int64(val.Shape.NumElements())*8})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Fatalf("overlap: [%d,%d) and [%d,%d)", a.lo, a.hi, b.lo, b.hi)
+			}
+		}
+	}
+	if s.ArenaSize() <= 0 {
+		t.Fatal("arena size not computed")
+	}
+}
+
+func TestRequestBytes(t *testing.T) {
+	g := graph.New()
+	v := makeValues(g, 2) // shapes [4,8] and [4,9]
+	r := Request{ID: "r", Values: v}
+	if r.Bytes() != (32+36)*8 {
+		t.Fatalf("Bytes = %d", r.Bytes())
+	}
+}
+
+func TestValidateRequests(t *testing.T) {
+	g := graph.New()
+	v := makeValues(g, 3)
+	other := graph.New().NewValue(tensor.Shape{1, 1}, "")
+	bad := [][]Request{
+		{{ID: "", Values: []*graph.Value{v[0], v[1]}}},
+		{{ID: "a", Values: []*graph.Value{v[0]}}},
+		{{ID: "a", Values: []*graph.Value{v[0], v[0]}}},
+		{{ID: "a", Values: []*graph.Value{v[0], other}}},
+		{{ID: "a", Values: []*graph.Value{v[0], v[1]}}, {ID: "a", Values: []*graph.Value{v[1], v[2]}}},
+	}
+	for i, reqs := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: bad request accepted", i)
+				}
+			}()
+			(&Planner{}).Plan(g.Values, reqs)
+		}()
+	}
+}
+
+// TestPlanProperty: for random request sets, no strategy satisfies two
+// conflicting requests, all values are placed without overlap, and at least
+// one strategy exists.
+func TestPlanProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed | 1)
+		g := graph.New()
+		v := makeValues(g, 8+rng.Intn(8))
+		var reqs []Request
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			a, b := rng.Intn(len(v)), rng.Intn(len(v))
+			if a == b {
+				b = (b + 1) % len(v)
+			}
+			reqs = append(reqs, Request{ID: string(rune('a' + i)), Values: []*graph.Value{v[a], v[b]}})
+		}
+		ss := (&Planner{}).Plan(g.Values, reqs)
+		if len(ss) == 0 {
+			return false
+		}
+		for _, s := range ss {
+			for i := range reqs {
+				for j := i + 1; j < len(reqs); j++ {
+					if Conflicts(reqs[i], reqs[j]) && s.Contiguous(reqs[i].ID) && s.Contiguous(reqs[j].ID) {
+						return false
+					}
+				}
+			}
+			ends := map[int64]int64{}
+			for _, val := range g.Values {
+				off, ok := s.Offset(val)
+				if !ok {
+					return false
+				}
+				ends[off] = off + int64(val.Shape.NumElements())*8
+			}
+			// overlap check via sorted sweep
+			prevEnd := int64(-1)
+			var starts []int64
+			for o := range ends {
+				starts = append(starts, o)
+			}
+			sortInt64(starts)
+			for _, o := range starts {
+				if o < prevEnd {
+					return false
+				}
+				prevEnd = ends[o]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortInt64(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	g := graph.New()
+	v := makeValues(g, 2)
+	ss := (&Planner{}).Plan(g.Values, []Request{{ID: "grp", Values: v}})
+	if got := ss[0].String(); got != "alloc0{grp}" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,151 @@
+// Package profile implements Astra's profile index (§4.6 of the paper):
+// a measurement store keyed by mangled strings that encode both the
+// adaptive variable being measured and the higher-level context it was
+// measured under.
+//
+// The key mangling is the mechanism that controls re-exploration: when the
+// custom-wirer explores a different binding of a higher-level policy (say a
+// different memory-allocation strategy), the context prefix changes, the
+// lookup misses, and exactly the dependent measurements are re-taken —
+// nothing else.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Key is a mangled (context, variable, choice) identifier.
+type Key string
+
+// K builds a key from a context prefix, a variable ID and a choice label.
+// Components are joined with separators that never appear in IDs produced
+// by the enumerator, so keys are unambiguous.
+func K(context, varID, choice string) Key {
+	return Key(context + "#" + varID + "=" + choice)
+}
+
+// Measurement is one profiled data point.
+type Measurement struct {
+	ValueUs float64
+	Trial   int // the exploration trial that produced it
+}
+
+// Index stores measurements and serves the custom-wirer's lookups.
+type Index struct {
+	m      map[Key]Measurement
+	hits   int
+	misses int
+	trial  int
+}
+
+// NewIndex returns an empty profile index.
+func NewIndex() *Index { return &Index{m: make(map[Key]Measurement)} }
+
+// SetTrial tags subsequent recordings with the current exploration trial.
+func (ix *Index) SetTrial(t int) { ix.trial = t }
+
+// Record stores a measurement unless the key is already present: thanks to
+// mini-batch predictability a configuration needs to be measured only once
+// (§4.1), so the first measurement wins.
+func (ix *Index) Record(k Key, us float64) {
+	if _, ok := ix.m[k]; ok {
+		return
+	}
+	ix.m[k] = Measurement{ValueUs: us, Trial: ix.trial}
+}
+
+// Has reports whether the key has been measured. It counts toward the
+// hit/miss statistics.
+func (ix *Index) Has(k Key) bool {
+	_, ok := ix.m[k]
+	if ok {
+		ix.hits++
+	} else {
+		ix.misses++
+	}
+	return ok
+}
+
+// Lookup returns the measurement for k.
+func (ix *Index) Lookup(k Key) (Measurement, bool) {
+	m, ok := ix.m[k]
+	return m, ok
+}
+
+// Best returns the choice with the minimum measured value among the given
+// labels for (context, varID). ok is false if none are measured.
+func (ix *Index) Best(context, varID string, labels []string) (best int, us float64, ok bool) {
+	us = 0
+	best = -1
+	for i, l := range labels {
+		m, found := ix.m[K(context, varID, l)]
+		if !found {
+			continue
+		}
+		if best < 0 || m.ValueUs < us {
+			best, us = i, m.ValueUs
+		}
+	}
+	return best, us, best >= 0
+}
+
+// Len returns the number of stored measurements.
+func (ix *Index) Len() int { return len(ix.m) }
+
+// HitRate returns hits/(hits+misses) of Has queries; tests use it to verify
+// that context changes invalidate exactly the dependent entries.
+func (ix *Index) HitRate() float64 {
+	tot := ix.hits + ix.misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(ix.hits) / float64(tot)
+}
+
+// Dump renders the index sorted by key, for reports and debugging.
+func (ix *Index) Dump() string {
+	keys := make([]string, 0, len(ix.m))
+	for k := range ix.m {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s -> %.3fus (trial %d)\n", k, ix.m[Key(k)].ValueUs, ix.m[Key(k)].Trial)
+	}
+	return b.String()
+}
+
+// snapshot is the serialized form of the index.
+type snapshot struct {
+	Entries map[string]Measurement `json:"entries"`
+}
+
+// Save serializes the index as JSON. A saved index warm-starts a later
+// session of the same job: the enumerator is deterministic, so the keys
+// line up and exploration resumes (or completes) instantly — the
+// profile-index analogue of a compilation cache.
+func (ix *Index) Save(w io.Writer) error {
+	snap := snapshot{Entries: make(map[string]Measurement, len(ix.m))}
+	for k, v := range ix.m {
+		snap.Entries[string(k)] = v
+	}
+	return json.NewEncoder(w).Encode(&snap)
+}
+
+// Load replaces the index contents from a Save'd snapshot.
+func (ix *Index) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("profile: load: %w", err)
+	}
+	ix.m = make(map[Key]Measurement, len(snap.Entries))
+	for k, v := range snap.Entries {
+		ix.m[Key(k)] = v
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordOnce(t *testing.T) {
+	ix := NewIndex()
+	k := K("ctx", "var", "a")
+	ix.SetTrial(3)
+	ix.Record(k, 10)
+	ix.SetTrial(4)
+	ix.Record(k, 99) // predictable workload: first measurement wins
+	m, ok := ix.Lookup(k)
+	if !ok || m.ValueUs != 10 || m.Trial != 3 {
+		t.Fatalf("Lookup = %+v, %v", m, ok)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestKeyManglingSeparatesContexts(t *testing.T) {
+	// The same variable/choice under two allocation strategies must be two
+	// distinct entries — this is the §4.6 invalidation mechanism.
+	ix := NewIndex()
+	ix.Record(K("/alloc=a0", "gemm3", "cublas"), 5)
+	if ix.Has(K("/alloc=a1", "gemm3", "cublas")) {
+		t.Fatal("context change should miss")
+	}
+	if !ix.Has(K("/alloc=a0", "gemm3", "cublas")) {
+		t.Fatal("same context should hit")
+	}
+	if ix.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v", ix.HitRate())
+	}
+}
+
+func TestKeyUnambiguity(t *testing.T) {
+	// No two distinct (ctx, var, choice) triples may collide.
+	if K("a", "b", "c") == K("a#b", "", "c") || K("a", "b", "c") == K("a", "b=c", "") {
+		t.Fatal("key mangling is ambiguous")
+	}
+}
+
+func TestBest(t *testing.T) {
+	ix := NewIndex()
+	labels := []string{"cublas", "oai1", "oai2"}
+	if _, _, ok := ix.Best("", "v", labels); ok {
+		t.Fatal("Best on empty index")
+	}
+	ix.Record(K("", "v", "cublas"), 10)
+	ix.Record(K("", "v", "oai1"), 7)
+	best, us, ok := ix.Best("", "v", labels)
+	if !ok || best != 1 || us != 7 {
+		t.Fatalf("Best = %d/%v/%v", best, us, ok)
+	}
+	ix.Record(K("", "v", "oai2"), 3)
+	best, us, _ = ix.Best("", "v", labels)
+	if best != 2 || us != 3 {
+		t.Fatalf("Best = %d/%v", best, us)
+	}
+}
+
+func TestBestProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 || len(vals) > 20 {
+			return true
+		}
+		ix := NewIndex()
+		labels := make([]string, len(vals))
+		minI, minV := 0, vals[0]
+		for i, v := range vals {
+			if v != v { // NaN breaks ordering; the wirer never produces it
+				return true
+			}
+			labels[i] = string(rune('a' + i))
+			ix.Record(K("c", "v", labels[i]), v)
+			if v < minV {
+				minI, minV = i, v
+			}
+		}
+		best, us, ok := ix.Best("c", "v", labels)
+		return ok && us == minV && vals[best] == minV && best <= minI+len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDump(t *testing.T) {
+	ix := NewIndex()
+	ix.Record(K("b", "v", "x"), 2)
+	ix.Record(K("a", "v", "x"), 1)
+	d := ix.Dump()
+	if !strings.Contains(d, "a#v=x -> 1.000us") {
+		t.Fatalf("Dump = %q", d)
+	}
+	if strings.Index(d, "a#v=x") > strings.Index(d, "b#v=x") {
+		t.Fatal("Dump not sorted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ix := NewIndex()
+	ix.SetTrial(7)
+	ix.Record(K("ctx", "v", "a"), 12.5)
+	ix.Record(K("", "w", "b"), 3)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2 := NewIndex()
+	if err := ix2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != 2 {
+		t.Fatalf("Len = %d", ix2.Len())
+	}
+	m, ok := ix2.Lookup(K("ctx", "v", "a"))
+	if !ok || m.ValueUs != 12.5 || m.Trial != 7 {
+		t.Fatalf("Lookup = %+v %v", m, ok)
+	}
+	if err := ix2.Load(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,525 @@
+// Package wire implements Astra's runtime half: the custom-wirer (§4.7).
+// It takes the enumerator's templated schedule and, for the current binding
+// of every adaptive variable, dispatches one mini-batch onto the simulated
+// GPU — fused GEMM chunks, gather copies for non-contiguous operands,
+// multi-stream assignment with event synchronization, super-epoch barriers
+// — while wrapping every region of interest in cudaEvent pairs for
+// fine-grained profiling (§5.2). After the batch it extracts one metric per
+// adaptive variable and hands them to the explorer.
+package wire
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"astra/internal/enumerate"
+	"astra/internal/gpusim"
+	"astra/internal/graph"
+	"astra/internal/kernels"
+)
+
+// RunnerConfig tunes the dispatcher.
+type RunnerConfig struct {
+	// PerOpCPUUs is the dispatcher's own CPU cost per kernel launch on top
+	// of the driver launch overhead. Astra interposes below the framework
+	// (§5.1), so this is small compared to an eager framework's per-op
+	// cost.
+	PerOpCPUUs float64
+	// MaxFusion pins every fusion group at its maximal chunk when the
+	// plan has no chunk variables — the static-fusion policy used to model
+	// XLA (package baselines).
+	MaxFusion bool
+	// EmbeddingHostTransfer forces a host round-trip per embedding lookup
+	// (XLA's embedding pathology, §6.6).
+	EmbeddingHostTransfer bool
+	// Profile enables the cudaEvent instrumentation. Astra keeps it
+	// always on (overhead <0.5%, §6.4); baselines run without it.
+	Profile bool
+}
+
+// BatchResult reports one dispatched mini-batch.
+type BatchResult struct {
+	// Metrics maps adaptive-variable IDs to their profiled values (µs).
+	Metrics map[string]float64
+	// TotalUs is the wall-clock time of the mini-batch (CPU timeline,
+	// which includes waiting for the device at the end).
+	TotalUs float64
+	// Kernels is the number of kernels launched.
+	Kernels int
+	// Events is the number of cudaEvents recorded or waited on,
+	// including cross-stream synchronization (each costs 0.2 µs of CPU).
+	Events int
+	// ProfEvents counts the events recorded purely for profiling.
+	ProfEvents int
+	// Env holds the computed values when value evaluation was requested.
+	Env graph.Env
+}
+
+// ProfilingOverheadUs returns the CPU time spent on profiling-only event
+// bookkeeping (0.2 µs per event, matching gpusim's accounting). Events that
+// exist to synchronize streams are schedule cost, not profiling cost.
+func (r *BatchResult) ProfilingOverheadUs() float64 { return 0.2 * float64(r.ProfEvents) }
+
+// Runner dispatches mini-batches for a plan.
+type Runner struct {
+	Plan *enumerate.Plan
+	Dev  *gpusim.Device
+	Cfg  RunnerConfig
+}
+
+// NewRunner builds a runner and sizes the device's stream set.
+func NewRunner(plan *enumerate.Plan, dev *gpusim.Device, cfg RunnerConfig) *Runner {
+	if plan.Opts.StreamAdapt {
+		dev.EnsureStreams(plan.Opts.NumStreams)
+	}
+	return &Runner{Plan: plan, Dev: dev, Cfg: cfg}
+}
+
+// dispatchState carries the per-batch bookkeeping.
+type dispatchState struct {
+	env        graph.Env
+	evalValues bool
+	kernels    int
+	events     int // all events+waits (sync bookkeeping included)
+	profEvents int // events recorded purely for profiling
+	// region events for metric extraction
+	groupSpan map[*enumerate.Unit][2]*gpusim.Event
+	unitSpan  map[*enumerate.Unit][2]*gpusim.Event
+	epochEnds map[*enumerate.Epoch][]*gpusim.Event
+	seStart   map[*enumerate.SuperEpoch]*gpusim.Event
+	span      [2]*gpusim.Event
+	// cross-stream synchronization
+	prevEpochEvents []*gpusim.Event
+	prevEpochStream []int
+	usedStreams     map[int]bool
+}
+
+// RunBatch dispatches one mini-batch with the plan's current variable
+// bindings. When inputs is non-nil the values are computed through the CPU
+// oracle in dispatch order (catching any dependency-violating schedule);
+// otherwise only timing is simulated.
+func (r *Runner) RunBatch(inputs graph.Env, params graph.Env) BatchResult {
+	dev := r.Dev
+	dev.Reset()
+	st := &dispatchState{
+		evalValues:  inputs != nil,
+		groupSpan:   map[*enumerate.Unit][2]*gpusim.Event{},
+		unitSpan:    map[*enumerate.Unit][2]*gpusim.Event{},
+		epochEnds:   map[*enumerate.Epoch][]*gpusim.Event{},
+		seStart:     map[*enumerate.SuperEpoch]*gpusim.Event{},
+		usedStreams: map[int]bool{0: true},
+	}
+	if st.evalValues {
+		st.env = make(graph.Env, len(r.Plan.G.Values))
+		for _, v := range r.Plan.G.Inputs {
+			t, ok := inputs[v]
+			if !ok {
+				panic(fmt.Sprintf("wire: unbound input %s (%s)", v, v.Name))
+			}
+			st.env[v] = t
+		}
+		for _, v := range r.Plan.G.Values {
+			if v.ConstData == nil {
+				continue
+			}
+			if params != nil {
+				if t, ok := params[v]; ok {
+					st.env[v] = t
+					continue
+				}
+			}
+			st.env[v] = v.ConstData
+		}
+	}
+
+	if r.Cfg.Profile {
+		st.span[0] = r.recordProfEvent(st, 0)
+	}
+	for _, se := range r.Plan.Supers {
+		if r.Cfg.Profile && r.multiStream() && r.superEpochRecording(se) {
+			st.seStart[se] = r.recordProfEvent(st, 0)
+		}
+		for _, ep := range se.Epochs {
+			r.dispatchEpoch(st, se, ep)
+		}
+		r.superEpochBarrier(st)
+	}
+	if r.Cfg.Profile {
+		st.span[1] = r.recordProfEvent(st, 0)
+	}
+	dev.Synchronize()
+
+	res := BatchResult{
+		Metrics:    map[string]float64{},
+		TotalUs:    dev.CPUTimeUs(),
+		Kernels:    st.kernels,
+		Events:     st.events,
+		ProfEvents: st.profEvents,
+		Env:        st.env,
+	}
+	if r.Cfg.Profile {
+		r.extractMetrics(st, &res)
+	}
+	return res
+}
+
+// superEpochRecording reports whether any epoch variable in the super-epoch
+// needs a measurement this trial.
+func (r *Runner) superEpochRecording(se *enumerate.SuperEpoch) bool {
+	for _, ep := range se.Epochs {
+		if v := r.Plan.EpochVars[ep]; v != nil && v.Recording() {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Runner) multiStream() bool {
+	return r.Plan.Opts.StreamAdapt && r.Plan.Opts.NumStreams >= 2
+}
+
+func (r *Runner) recordEvent(st *dispatchState, stream int) *gpusim.Event {
+	st.events++
+	return r.Dev.RecordEvent(stream)
+}
+
+// recordProfEvent marks an event as pure profiling instrumentation; its
+// cost is what the §6.4 "<0.5% overhead" claim is about. Synchronization
+// events exist for correctness regardless of profiling.
+func (r *Runner) recordProfEvent(st *dispatchState, stream int) *gpusim.Event {
+	st.profEvents++
+	return r.recordEvent(st, stream)
+}
+
+// streamOf assigns each unit of the epoch a stream: class variables say how
+// many of each equivalence class go to stream 1 (§4.5.5); classes without a
+// variable (capped or stream adaptation off) stay on stream 0.
+func (r *Runner) streamAssignment(ep *enumerate.Epoch) map[*enumerate.Unit]int {
+	out := map[*enumerate.Unit]int{}
+	if !r.multiStream() {
+		for _, u := range ep.Units {
+			out[u] = 0
+		}
+		return out
+	}
+	aux := r.Plan.Opts.NumStreams - 1 // streams 1..S-1 take the moved units
+	for _, cls := range ep.Classes {
+		v := r.Plan.StreamVars[cls]
+		k := 0
+		if v != nil {
+			k, _ = strconv.Atoi(v.CurrentLabel())
+		}
+		for i, u := range cls.Units {
+			if i < k {
+				// Spread the moved units across the auxiliary streams
+				// round-robin; with 2 streams this is the paper's
+				// "k to stream 1" split.
+				out[u] = 1 + i%aux
+			} else {
+				out[u] = 0
+			}
+		}
+	}
+	return out
+}
+
+func (r *Runner) dispatchEpoch(st *dispatchState, se *enumerate.SuperEpoch, ep *enumerate.Epoch) {
+	assign := r.streamAssignment(ep)
+	// Cross-stream ordering: before using a stream in this epoch, wait on
+	// the previous epoch's end events of the *other* streams.
+	waited := map[int]bool{}
+	ensureOrdered := func(stream int) {
+		if waited[stream] {
+			return
+		}
+		waited[stream] = true
+		for i, ev := range st.prevEpochEvents {
+			if st.prevEpochStream[i] != stream {
+				r.Dev.WaitEvent(stream, ev)
+				st.events++ // waits cost the same bookkeeping CPU time
+			}
+		}
+	}
+	streamsUsed := map[int]bool{}
+	for _, u := range ep.Units {
+		stream := assign[u]
+		streamsUsed[stream] = true
+		st.usedStreams[stream] = true
+		ensureOrdered(stream)
+		r.dispatchUnit(st, u, stream)
+	}
+	// Record this epoch's end on each used stream for the next epoch and
+	// for the epoch completion metric.
+	if r.multiStream() {
+		st.prevEpochEvents = st.prevEpochEvents[:0]
+		st.prevEpochStream = st.prevEpochStream[:0]
+		var ends []*gpusim.Event
+		for s := 0; s < r.Plan.Opts.NumStreams; s++ {
+			if !streamsUsed[s] {
+				continue
+			}
+			ev := r.recordEvent(st, s)
+			st.prevEpochEvents = append(st.prevEpochEvents, ev)
+			st.prevEpochStream = append(st.prevEpochStream, s)
+			ends = append(ends, ev)
+		}
+		if r.Cfg.Profile && r.Plan.EpochVarID[ep] != "" && st.seStart[se] != nil {
+			st.epochEnds[ep] = ends
+		}
+	}
+}
+
+// superEpochBarrier force-synchronizes all streams (§4.5.3), resetting
+// scheduling history so super-epochs explore independently.
+func (r *Runner) superEpochBarrier(st *dispatchState) {
+	if !r.multiStream() {
+		return
+	}
+	var evs []*gpusim.Event
+	for s := range st.usedStreams {
+		evs = append(evs, r.recordEvent(st, s))
+	}
+	for s := range st.usedStreams {
+		for _, ev := range evs {
+			r.Dev.WaitEvent(s, ev)
+			st.events++
+		}
+	}
+	st.prevEpochEvents = nil
+	st.prevEpochStream = nil
+}
+
+// dispatchUnit launches the kernels of one schedule unit on its stream.
+func (r *Runner) dispatchUnit(st *dispatchState, u *enumerate.Unit, stream int) {
+	// Event pairs wrap only regions whose adaptive variables still need a
+	// measurement this trial: converged regions are never re-measured
+	// (§4.1 — one measurement suffices), which is what keeps the always-on
+	// instrumentation under the 0.5%% budget of §6.4.
+	profileUnit := false
+	if r.Cfg.Profile {
+		if v := r.Plan.KernelVars[u]; v != nil && v.Recording() {
+			profileUnit = true
+		}
+		if u.Kind == enumerate.UnitGEMMGroup {
+			if v := r.Plan.ChunkVars[u.Group]; v != nil && v.Recording() {
+				profileUnit = true
+			}
+		}
+	}
+	var start *gpusim.Event
+	if profileUnit {
+		start = r.recordProfEvent(st, stream)
+	}
+	switch u.Kind {
+	case enumerate.UnitSingle:
+		n := u.Nodes[0]
+		if r.Cfg.EmbeddingHostTransfer && (n.Op == graph.OpLookup || n.Op == graph.OpLookupGrad) {
+			// XLA's embedding pathology: the lookup bounces through the
+			// host (§6.6) instead of staying on the device.
+			r.Dev.HostTransfer(stream, int64(n.Out.Shape.NumElements())*8)
+		}
+		r.launch(st, stream, kernels.ForNode(n, r.libFor(u)))
+		r.eval(st, n)
+	case enumerate.UnitEWChain:
+		elems := 0
+		for _, n := range u.Nodes {
+			if e := n.Out.Shape.NumElements(); e > elems {
+				elems = e
+			}
+		}
+		r.launch(st, stream, kernels.FusedElementwise(len(u.Nodes), elems))
+		for _, n := range u.Nodes {
+			r.eval(st, n)
+		}
+	case enumerate.UnitGEMMGroup:
+		r.dispatchGroup(st, u, stream)
+	}
+	if profileUnit {
+		end := r.recordProfEvent(st, stream)
+		if u.Kind == enumerate.UnitGEMMGroup {
+			st.groupSpan[u] = [2]*gpusim.Event{start, end}
+		} else {
+			st.unitSpan[u] = [2]*gpusim.Event{start, end}
+		}
+	}
+}
+
+// chunkSize reads the group's chunk variable (or the fixed policy).
+func (r *Runner) chunkSize(u *enumerate.Unit) int {
+	if v := r.Plan.ChunkVars[u.Group]; v != nil {
+		c, err := strconv.Atoi(v.CurrentLabel())
+		if err != nil || c < 1 {
+			panic(fmt.Sprintf("wire: bad chunk label %q", v.CurrentLabel()))
+		}
+		return c
+	}
+	if r.Cfg.MaxFusion {
+		return len(u.Group.GEMMs)
+	}
+	return 1
+}
+
+func (r *Runner) libFor(u *enumerate.Unit) kernels.Library {
+	if v := r.Plan.KernelVars[u]; v != nil {
+		return kernels.Library(v.Current())
+	}
+	return kernels.CuBLAS
+}
+
+// dispatchGroup launches a fusion group at the current chunk granularity:
+// ceil(n/chunk) fused GEMMs, gather copies when the active allocation does
+// not keep the chunk's operands contiguous, and the residual accumulator
+// adds of a partially-fused ladder.
+func (r *Runner) dispatchGroup(st *dispatchState, u *enumerate.Unit, stream int) {
+	grp := u.Group
+	chunk := r.chunkSize(u)
+	lib := r.libFor(u)
+	contiguous := grp.ReqID != "" && r.Plan.Alloc().Contiguous(grp.ReqID)
+
+	n := len(grp.GEMMs)
+	numChunks := (n + chunk - 1) / chunk
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		members := grp.GEMMs[lo:hi]
+		if len(members) == 1 {
+			r.launch(st, stream, kernels.ForNode(members[0], lib))
+			continue
+		}
+		if !contiguous {
+			// Gather the chunk's operands into a scratch block first.
+			var bytes int64
+			for _, m := range members {
+				bytes += int64(operandBytes(grp, m))
+			}
+			r.launch(st, stream, kernels.Copy(bytes))
+		}
+		r.launch(st, stream, kernels.GEMM(lib, fusedShape(grp, members)))
+	}
+	// Residual ladder accumulation across chunk outputs.
+	if grp.Kind == enumerate.Ladder && numChunks > 1 {
+		elems := grp.GEMMs[0].Out.Shape.NumElements()
+		for i := 0; i < numChunks-1; i++ {
+			r.launch(st, stream, kernels.Elementwise("add", elems))
+		}
+	}
+	for _, node := range u.Nodes {
+		r.eval(st, node)
+	}
+}
+
+// operandBytes returns the bytes of the member's fusable operand.
+func operandBytes(grp *enumerate.FusionGroup, m *graph.Node) int {
+	side := 1
+	if grp.Kind == enumerate.SharedRight {
+		side = 0
+	}
+	return m.Inputs[side].Shape.NumElements() * 8
+}
+
+// fusedShape computes the fused GEMM problem size for a chunk of members.
+func fusedShape(grp *enumerate.FusionGroup, members []*graph.Node) kernels.GEMMShape {
+	first := members[0]
+	s := kernels.GEMMShape{
+		M: first.Inputs[0].Shape.Rows(),
+		K: first.Inputs[0].Shape.Cols(),
+		N: first.Inputs[1].Shape.Cols(),
+	}
+	for _, m := range members[1:] {
+		switch grp.Kind {
+		case enumerate.SharedLeft:
+			s.N += m.Inputs[1].Shape.Cols()
+		case enumerate.SharedRight:
+			s.M += m.Inputs[0].Shape.Rows()
+		case enumerate.Ladder:
+			s.K += m.Inputs[0].Shape.Cols()
+		}
+	}
+	return s
+}
+
+func (r *Runner) launch(st *dispatchState, stream int, spec gpusim.KernelSpec) {
+	r.Dev.AdvanceCPU(r.Cfg.PerOpCPUUs)
+	r.Dev.Launch(stream, spec)
+	st.kernels++
+}
+
+// eval computes a node's value on the CPU oracle, materializing any view
+// transposes its inputs read through.
+func (r *Runner) eval(st *dispatchState, n *graph.Node) {
+	if !st.evalValues {
+		return
+	}
+	for _, in := range n.Inputs {
+		if _, ok := st.env[in]; ok {
+			continue
+		}
+		p := in.Producer
+		if p != nil && p.Op == graph.OpTranspose {
+			graph.EvalNode(p, st.env)
+			continue
+		}
+		panic(fmt.Sprintf("wire: schedule violates dependencies: %s needs %s", n, in))
+	}
+	graph.EvalNode(n, st.env)
+}
+
+// extractMetrics turns the recorded event pairs into the per-variable
+// metrics the explorer observes (§4.7): per-group times for chunk and
+// library variables, per-epoch completion times for the stream composites,
+// and the end-to-end batch time for the allocation policy.
+func (r *Runner) extractMetrics(st *dispatchState, res *BatchResult) {
+	for u, span := range st.groupSpan {
+		t := gpusim.Elapsed(span[0], span[1])
+		if v := r.Plan.ChunkVars[u.Group]; v != nil {
+			res.Metrics[v.ID] = t
+		}
+		if v := r.Plan.KernelVars[u]; v != nil {
+			res.Metrics[v.ID] = t
+		}
+	}
+	for u, span := range st.unitSpan {
+		if v := r.Plan.KernelVars[u]; v != nil {
+			res.Metrics[v.ID] = gpusim.Elapsed(span[0], span[1])
+		}
+	}
+	for _, se := range r.Plan.Supers {
+		start, ok := st.seStart[se]
+		if !ok {
+			continue
+		}
+		for _, ep := range se.Epochs {
+			id := r.Plan.EpochVarID[ep]
+			ends := st.epochEnds[ep]
+			if id == "" || len(ends) == 0 {
+				continue
+			}
+			end := math.Inf(-1)
+			for _, ev := range ends {
+				if t := ev.TimeUs(); t > end {
+					end = t
+				}
+			}
+			res.Metrics[id] = end - start.TimeUs()
+			// Class variables inside the epoch share the epoch metric: the
+			// composite exhaustive variable is the one recorded, but the
+			// explorer may also attribute to leaves when epochs are tiny.
+			for _, cls := range ep.Classes {
+				if v := r.Plan.StreamVars[cls]; v != nil {
+					res.Metrics[v.ID] = res.Metrics[id]
+				}
+			}
+		}
+	}
+	if st.span[0] != nil && st.span[1] != nil {
+		total := gpusim.Elapsed(st.span[0], st.span[1])
+		if r.Plan.AllocVar != nil {
+			res.Metrics[r.Plan.AllocVar.ID] = total
+		}
+		res.Metrics["e2e"] = total
+	}
+}

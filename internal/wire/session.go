@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"astra/internal/adapt"
+	"astra/internal/autodiff"
+	"astra/internal/enumerate"
+	"astra/internal/gpusim"
+	"astra/internal/graph"
+	"astra/internal/models"
+	"astra/internal/profile"
+)
+
+// Session ties the whole pipeline together for one training job: the
+// enumerated plan, the simulated device, the profile index and the
+// explorer. Exploration is work-conserving (§4.2): every exploration
+// mini-batch performs the full, value-preserving training computation; only
+// its schedule varies.
+type Session struct {
+	Model  *models.Model
+	Plan   *enumerate.Plan
+	Runner *Runner
+	Ix     *profile.Index
+	Exp    *adapt.Explorer // nil when the plan has no adaptive variables
+
+	// EvalValues runs the CPU value oracle each batch (slow; tests and
+	// examples only — timing never depends on it).
+	EvalValues bool
+	// LearningRate > 0 applies SGD updates after each batch when
+	// EvalValues is set, making the session a real training loop.
+	LearningRate float64
+	// Params holds the live parameter tensors when training with values.
+	Params graph.Env
+
+	batchSeed uint64
+	// Trials counts exploration mini-batches (the Table 7 metric).
+	Trials int
+	// ExploreUs accumulates simulated time spent while exploring.
+	ExploreUs float64
+}
+
+// SessionConfig configures NewSession.
+type SessionConfig struct {
+	Device       gpusim.Config
+	Options      enumerate.Options
+	Runner       RunnerConfig
+	EvalValues   bool
+	LearningRate float64
+	// Index warm-starts the session with a previously saved profile index
+	// (profile.Index.Save/Load). The enumerator is deterministic, so a
+	// snapshot from an earlier run of the same job makes exploration
+	// resume where it left off — or skip straight to the wired schedule.
+	Index *profile.Index
+}
+
+// NewSession compiles the model and prepares the runtime.
+func NewSession(m *models.Model, cfg SessionConfig) *Session {
+	plan := enumerate.Enumerate(m.G, cfg.Options)
+	dev := gpusim.NewDevice(cfg.Device)
+	rcfg := cfg.Runner
+	rcfg.Profile = true
+	ix := cfg.Index
+	if ix == nil {
+		ix = profile.NewIndex()
+	}
+	s := &Session{
+		Model:        m,
+		Plan:         plan,
+		Runner:       NewRunner(plan, dev, rcfg),
+		Ix:           ix,
+		EvalValues:   cfg.EvalValues,
+		LearningRate: cfg.LearningRate,
+	}
+	if cfg.EvalValues {
+		s.Params = m.G.InitialParams()
+	}
+	if plan.Tree != nil {
+		s.Exp = adapt.NewExplorer(plan.Tree, s.Ix)
+	}
+	return s
+}
+
+// Step runs one training mini-batch with the current configuration. While
+// exploration is in progress the measurements feed the explorer, which then
+// advances to the next configuration; afterwards batches run with the
+// wired-in best configuration.
+func (s *Session) Step() BatchResult {
+	var res BatchResult
+	if s.EvalValues {
+		in := s.Model.MakeInputs(s.batchSeed)
+		s.batchSeed++
+		res = s.Runner.RunBatch(in, s.Params)
+		if s.LearningRate > 0 {
+			autodiff.ApplySGD(s.Model.G, res.Env, s.Params, s.LearningRate)
+		}
+	} else {
+		res = s.Runner.RunBatch(nil, nil)
+	}
+	if s.Exp != nil && !s.Exp.Done() {
+		s.Exp.Observe(res.Metrics)
+		s.Exp.Advance()
+		s.Trials++
+		s.ExploreUs += res.TotalUs
+	}
+	return res
+}
+
+// Explore runs mini-batches until the exploration converges, returning the
+// number of configurations tried. A plan with no adaptive variables
+// returns 0.
+func (s *Session) Explore() int {
+	if s.Exp == nil {
+		return 0
+	}
+	for !s.Exp.Done() {
+		s.Step()
+	}
+	return s.Exp.Trials()
+}
+
+// Done reports whether exploration has converged.
+func (s *Session) Done() bool { return s.Exp == nil || s.Exp.Done() }
+
+// WiredTimeUs runs one post-exploration batch and returns its time.
+func (s *Session) WiredTimeUs() float64 { return s.Step().TotalUs }
