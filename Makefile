@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench experiments experiments-quick cover clean
+.PHONY: all build test test-short vet race bench experiments experiments-quick cover clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass: the telemetry layer (internal/obs) is shared across
+# goroutines when dispatch goes concurrent; keep it provably race-free.
+# -short skips the multi-minute paper-table regenerations, which exceed the
+# test timeout under the detector's ~20x slowdown; every package still runs.
+race:
+	$(GO) test -race -short ./...
 
 cover:
 	$(GO) test -short -cover ./...

@@ -26,6 +26,7 @@ import (
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
 	"astra/internal/models"
+	"astra/internal/obs"
 	"astra/internal/profile"
 	"astra/internal/wire"
 )
@@ -248,6 +249,20 @@ func (s *Session) UpdateTree() string {
 // SaveProfile snapshots the profile index so a later session of the same
 // job can warm-start (Options.ProfileSnapshot) instead of re-exploring.
 func (s *Session) SaveProfile(w io.Writer) error { return s.s.Ix.Save(w) }
+
+// Instrument attaches a fresh telemetry bundle — session-wide trace,
+// metrics registry, JSONL event log — to the whole pipeline and returns
+// it. Call before Explore so the trace covers every trial; attach an event
+// sink with Telemetry.SetEventSink to enable the JSONL log.
+func (s *Session) Instrument() *obs.Telemetry {
+	tel := obs.NewTelemetry()
+	s.s.Instrument(tel)
+	return tel
+}
+
+// Telemetry returns the attached bundle (nil when Instrument was not
+// called).
+func (s *Session) Telemetry() *obs.Telemetry { return s.s.Obs }
 
 // Internal exposes the underlying session for the experiment harness.
 func (s *Session) Internal() *wire.Session { return s.s }

@@ -7,6 +7,7 @@
 //	astra-bench -experiment all           # everything (takes a while)
 //	astra-bench -experiment all -quick    # reduced sweeps, same shapes
 //	astra-bench -list
+//	astra-bench -experiment table2 -prom-out -   # harness metrics to stdout
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"astra/internal/harness"
+	"astra/internal/obs"
 )
 
 func main() {
@@ -24,6 +26,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced batch sweeps; same qualitative shapes")
 	verbose := flag.Bool("v", false, "print per-cell progress")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	promOut := flag.String("prom-out", "", "write harness metrics (Prometheus text) to this file at exit ('-' for stdout)")
 	flag.Parse()
 
 	if *list {
@@ -38,6 +41,10 @@ func main() {
 	if *exp == "all" {
 		ids = harness.Names()
 	}
+	reg := obs.NewRegistry()
+	runs := reg.Counter("harness.runs", "experiments executed")
+	wall := reg.Histogram("harness.run_seconds", "experiment wall time",
+		1, 5, 10, 30, 60, 120, 300, 600, 1800)
 	for _, id := range ids {
 		start := time.Now()
 		t, err := harness.Run(id, opts)
@@ -45,7 +52,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "astra-bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		secs := time.Since(start).Seconds()
+		runs.Inc()
+		wall.Observe(secs)
+		reg.Gauge("harness.last_run_seconds."+id, "wall time of the last run").Set(secs)
 		fmt.Println(t)
-		fmt.Fprintf(os.Stderr, "[%s took %.1fs]\n\n", id, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "[%s took %.1fs]\n\n", id, secs)
+	}
+	if *promOut != "" {
+		w := os.Stdout
+		if *promOut != "-" {
+			f, err := os.Create(*promOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "astra-bench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WriteProm(w); err != nil {
+			fmt.Fprintln(os.Stderr, "astra-bench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -6,6 +6,13 @@
 //	astra-run -model sublstm -batch 16 -level All
 //	astra-run -model stackedlstm -dispatcher cudnn
 //	astra-run -model scrnn -dispatcher native
+//	astra-run -model sublstm -trace-out session.json -events-out trials.jsonl -metrics
+//
+// With -trace-out the whole session (every exploration trial plus the
+// wired batches) exports as one multi-track Chrome/Perfetto trace: device
+// streams, launch queues, the CPU dispatch timeline and the exploration
+// counter tracks. -events-out writes one JSONL record per mini-batch, and
+// -metrics prints the Prometheus text exposition at exit.
 package main
 
 import (
@@ -26,45 +33,21 @@ func main() {
 	dispatcher := flag.String("dispatcher", "astra", "astra, native, tf, xla or cudnn")
 	batches := flag.Int("steps", 3, "post-exploration mini-batches to run")
 	report := flag.Bool("report", false, "print the wired schedule report (astra dispatcher only)")
-	traceOut := flag.String("timeline", "", "write a Chrome trace-event JSON of the last mini-batch to this file")
+	traceOut := flag.String("trace-out", "", "write the session-wide multi-track Chrome/Perfetto trace to this file")
+	eventsOut := flag.String("events-out", "", "write the JSONL exploration event log to this file")
+	metrics := flag.Bool("metrics", false, "print the Prometheus metrics exposition at exit")
+	timeline := flag.String("timeline", "", "write a Chrome trace of the last mini-batch only (device view)")
 	flag.Parse()
 
 	m, err := astra.BuildModel(*model, astra.ModelConfig{Batch: *batch})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "astra-run:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("model %s: %d graph nodes, %d GEMMs, batch %d\n", m.Name(), m.Nodes(), m.GEMMs(), *batch)
 
 	switch *dispatcher {
 	case "astra":
-		sess := astra.Compile(m, astra.Options{Level: astra.Level(*level)})
-		stats := sess.Explore()
-		fmt.Printf("explored %d configurations across %d allocation strategies\n",
-			stats.Configs, stats.AllocStrategies)
-		fmt.Printf("wired mini-batch: %.0f us (native PyTorch: %.0f us) -> speedup %.2fx\n",
-			stats.WiredBatchUs, stats.NativeBatchUs, stats.Speedup)
-		fmt.Printf("always-on profiling overhead: %.3f%%\n", stats.ProfilingOverhead*100)
-		for i := 0; i < *batches; i++ {
-			fmt.Printf("  step %d: %.0f us\n", i+1, sess.Step())
-		}
-		if *report {
-			fmt.Println()
-			fmt.Print(sess.Internal().Report())
-		}
-		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "astra-run:", err)
-				os.Exit(1)
-			}
-			if err := sess.Internal().Runner.Dev.WriteChromeTrace(f); err != nil {
-				fmt.Fprintln(os.Stderr, "astra-run:", err)
-				os.Exit(1)
-			}
-			f.Close()
-			fmt.Printf("timeline written to %s (open in chrome://tracing)\n", *traceOut)
-		}
+		runAstra(m, *level, *batches, *report, *traceOut, *eventsOut, *metrics, *timeline)
 	case "native", "tf":
 		fw := baselines.PyTorch()
 		if *dispatcher == "tf" {
@@ -92,4 +75,97 @@ func main() {
 		fmt.Fprintf(os.Stderr, "astra-run: unknown dispatcher %q\n", *dispatcher)
 		os.Exit(1)
 	}
+}
+
+func runAstra(m *astra.Model, level string, batches int, report bool, traceOut, eventsOut string, metrics bool, timeline string) {
+	sess := astra.Compile(m, astra.Options{Level: astra.Level(level)})
+
+	// Telemetry must attach before Explore so the trace and event log
+	// cover every exploration trial.
+	observing := traceOut != "" || eventsOut != "" || metrics
+	var eventsFile *os.File
+	if observing {
+		tel := sess.Instrument()
+		if eventsOut != "" {
+			f, err := os.Create(eventsOut)
+			if err != nil {
+				fail(err)
+			}
+			eventsFile = f
+			tel.SetEventSink(f)
+		}
+	}
+
+	stats := sess.Explore()
+	fmt.Printf("explored %d configurations across %d allocation strategies\n",
+		stats.Configs, stats.AllocStrategies)
+	fmt.Printf("wired mini-batch: %.0f us (native PyTorch: %.0f us) -> speedup %.2fx\n",
+		stats.WiredBatchUs, stats.NativeBatchUs, stats.Speedup)
+	fmt.Printf("always-on profiling overhead: %.3f%%\n", stats.ProfilingOverhead*100)
+	for i := 0; i < batches; i++ {
+		fmt.Printf("  step %d: %.0f us\n", i+1, sess.Step())
+	}
+	if report {
+		fmt.Println()
+		fmt.Print(sess.Internal().Report())
+	}
+
+	ws := sess.Internal()
+	if observing {
+		ws.CloseTelemetry()
+		tel := sess.Telemetry()
+
+		// End-of-run metrics summary: the §6.4 check over the whole
+		// session, exploration included.
+		overheadPct := 0.0
+		if ws.ClockUs > 0 {
+			overheadPct = ws.ProfOverheadUs / ws.ClockUs * 100
+		}
+		fmt.Printf("\ntelemetry summary: %d batches (%d exploration trials), %.0f us simulated\n",
+			ws.Batches, ws.Trials, ws.ClockUs)
+		fmt.Printf("profiling overhead: %.0f us = %.3f%% of total simulated time\n",
+			ws.ProfOverheadUs, overheadPct)
+		fmt.Printf("profile index: %d entries, hit rate %.2f\n", ws.Ix.Len(), ws.Ix.HitRate())
+
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				fail(err)
+			}
+			if err := tel.Trace.WriteChromeTrace(f); err != nil {
+				fail(err)
+			}
+			f.Close()
+			fmt.Printf("session trace written to %s (open in ui.perfetto.dev or chrome://tracing)\n", traceOut)
+		}
+		if eventsFile != nil {
+			n := tel.Events.Count()
+			if err := eventsFile.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("event log written to %s (%d records)\n", eventsOut, n)
+		}
+		if metrics {
+			fmt.Println()
+			if err := tel.Metrics.WriteProm(os.Stdout); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if timeline != "" {
+		f, err := os.Create(timeline)
+		if err != nil {
+			fail(err)
+		}
+		if err := ws.Runner.Dev.WriteChromeTrace(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Printf("last-batch timeline written to %s (open in chrome://tracing)\n", timeline)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "astra-run:", err)
+	os.Exit(1)
 }

@@ -10,6 +10,7 @@
 //	astra-trace -model stackedlstm -show tree
 //	astra-trace -model gnmt -show epochs
 //	astra-trace -model sublstm -show allocs
+//	astra-trace -model sublstm -show convergence   # runs exploration
 package main
 
 import (
@@ -26,7 +27,7 @@ func main() {
 	model := flag.String("model", "scrnn", "model: "+strings.Join(astra.ModelNames(), ", "))
 	batch := flag.Int("batch", 16, "mini-batch size")
 	tiny := flag.Bool("tiny", false, "use the unit-test-scale configuration")
-	show := flag.String("show", "trace", "trace, groups, allocs, epochs or tree")
+	show := flag.String("show", "trace", "trace, groups, allocs, epochs, tree or convergence")
 	flag.Parse()
 
 	m, err := astra.BuildModel(*model, astra.ModelConfig{Batch: *batch, Tiny: *tiny})
@@ -36,6 +37,10 @@ func main() {
 	}
 	if *show == "trace" {
 		fmt.Print(m.Trace())
+		return
+	}
+	if *show == "convergence" {
+		showConvergence(m)
 		return
 	}
 	p := enumerate.Enumerate(m.Internal().G, enumerate.PresetOptions(enumerate.PresetAll))
@@ -77,6 +82,29 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "astra-trace: unknown -show %q\n", *show)
 		os.Exit(1)
+	}
+}
+
+// showConvergence runs an instrumented exploration and prints the
+// exploration-convergence timeline: the trial at which each adaptive
+// variable froze at its measured best (the §6.3/Table 7 view).
+func showConvergence(m *astra.Model) {
+	sess := astra.Compile(m, astra.Options{})
+	sess.Instrument()
+	stats := sess.Explore()
+	ws := sess.Internal()
+	if ws.Exp == nil {
+		fmt.Println("(no adaptive variables)")
+		return
+	}
+	fmt.Printf("exploration converged after %d trials (%.0f us simulated)\n\n", stats.Configs, ws.ClockUs)
+	fmt.Printf("%7s  %-40s %s\n", "trial", "variable", "wired choice")
+	byID := map[string]string{}
+	for _, v := range ws.Exp.Vars() {
+		byID[v.ID] = v.CurrentLabel()
+	}
+	for _, p := range ws.Exp.ConvergenceTimeline() {
+		fmt.Printf("%7d  %-40s %s\n", p.Trial, p.VarID, byID[p.VarID])
 	}
 }
 

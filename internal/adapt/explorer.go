@@ -3,7 +3,9 @@ package adapt
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 
+	"astra/internal/obs"
 	"astra/internal/profile"
 )
 
@@ -29,16 +31,95 @@ type Explorer struct {
 	// that fails to measure the active variables.
 	noProgress int
 	lastIxLen  int
+
+	// frozeAt records, per variable ID, the trial at which the variable
+	// last transitioned to frozen — the exploration-convergence timeline.
+	// A variable whose context changes (a higher-level policy moved) thaws
+	// and re-freezes later; the map keeps the final freeze.
+	frozeAt    map[string]int
+	wasFrozen  map[string]bool
+	mTrials    *obs.Counter
+	mFrozen    *obs.Gauge
+	mVarsTotal *obs.Gauge
 }
 
 // NewExplorer initializes the tree and positions it at the first
 // configuration to measure.
 func NewExplorer(root *Tree, ix *profile.Index) *Explorer {
-	e := &Explorer{root: root, ix: ix, vars: root.Vars()}
+	e := &Explorer{
+		root: root, ix: ix, vars: root.Vars(),
+		frozeAt: map[string]int{}, wasFrozen: map[string]bool{},
+	}
 	root.Initialize()
 	ix.SetTrial(0)
 	e.done = e.setup(root, "")
+	e.noteFreezes()
 	return e
+}
+
+// Instrument attaches a metrics registry: Advance keeps explore.trials,
+// explore.frozen_vars and explore.vars_total current.
+func (e *Explorer) Instrument(reg *obs.Registry) {
+	e.mTrials = reg.Counter("explore.trials", "exploration mini-batches consumed")
+	e.mFrozen = reg.Gauge("explore.frozen_vars", "adaptive variables frozen at their best choice")
+	e.mVarsTotal = reg.Gauge("explore.vars_total", "adaptive variables in the update tree")
+	frozen, total := e.FrozenCount()
+	e.mFrozen.Set(float64(frozen))
+	e.mVarsTotal.Set(float64(total))
+}
+
+// noteFreezes updates the convergence timeline after a tree walk: each
+// unfrozen→frozen transition is stamped with the current trial count.
+func (e *Explorer) noteFreezes() {
+	for _, v := range e.vars {
+		f := v.Frozen()
+		if f && !e.wasFrozen[v.ID] {
+			e.frozeAt[v.ID] = e.trials
+		}
+		e.wasFrozen[v.ID] = f
+	}
+	if e.mFrozen != nil {
+		frozen, total := e.FrozenCount()
+		e.mFrozen.Set(float64(frozen))
+		e.mVarsTotal.Set(float64(total))
+	}
+}
+
+// FrozenCount returns how many variables are currently frozen at their
+// best choice, and the total variable count.
+func (e *Explorer) FrozenCount() (frozen, total int) {
+	for _, v := range e.vars {
+		if v.Frozen() {
+			frozen++
+		}
+	}
+	return frozen, len(e.vars)
+}
+
+// ConvergencePoint is one entry of the exploration-convergence timeline.
+type ConvergencePoint struct {
+	VarID string
+	Trial int // trials consumed when the variable (last) froze
+}
+
+// ConvergenceTimeline returns, for every variable that has frozen, the
+// trial at which it last converged — sorted by trial, then ID. After Done
+// this is the full §6.3-style convergence account of the session.
+func (e *Explorer) ConvergenceTimeline() []ConvergencePoint {
+	out := make([]ConvergencePoint, 0, len(e.frozeAt))
+	for id, tr := range e.frozeAt {
+		if !e.wasFrozen[id] {
+			continue // thawed since; not converged right now
+		}
+		out = append(out, ConvergencePoint{VarID: id, Trial: tr})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Trial != out[j].Trial {
+			return out[i].Trial < out[j].Trial
+		}
+		return out[i].VarID < out[j].VarID
+	})
+	return out
 }
 
 // Done reports whether exploration has converged: every variable frozen at
@@ -89,7 +170,11 @@ func (e *Explorer) Advance() bool {
 	e.lastIxLen = e.ix.Len()
 	e.trials++
 	e.ix.SetTrial(e.trials)
+	if e.mTrials != nil {
+		e.mTrials.Inc()
+	}
 	e.done = e.setup(e.root, "")
+	e.noteFreezes()
 	return !e.done
 }
 

@@ -6,6 +6,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"astra/internal/obs"
 )
 
 func testConfig() Config {
@@ -386,20 +388,42 @@ func TestChromeTraceExport(t *testing.T) {
 	if err := d.WriteChromeTrace(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var events []TraceEvent
-	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+	var trace obs.ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
+	if trace.DisplayTimeUnit == "" {
+		t.Fatal("no displayTimeUnit")
+	}
 	kernels := 0
-	for _, e := range events {
-		if e.Category == "kernel" {
+	procNames := map[string]bool{}
+	threadNames := map[string]bool{}
+	for _, e := range trace.TraceEvents {
+		switch {
+		case e.Category == "kernel":
 			kernels++
 			if e.DurUs <= 0 || e.Phase != "X" {
 				t.Fatalf("bad event %+v", e)
 			}
+		case e.Phase == "M" && e.Name == "process_name":
+			procNames[e.Args["name"].(string)] = true
+		case e.Phase == "M" && e.Name == "thread_name":
+			threadNames[e.Args["name"].(string)] = true
 		}
 	}
 	if kernels != 2 {
 		t.Fatalf("kernels in trace = %d", kernels)
+	}
+	// Perfetto track labels: the device/launch-queue processes and one
+	// named track per stream.
+	for _, want := range []string{"device", "launch queue"} {
+		if !procNames[want] {
+			t.Fatalf("no process_name metadata for %q (have %v)", want, procNames)
+		}
+	}
+	for _, want := range []string{"stream 0", "stream 1"} {
+		if !threadNames[want] {
+			t.Fatalf("no thread_name metadata for %q (have %v)", want, threadNames)
+		}
 	}
 }

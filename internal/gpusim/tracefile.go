@@ -1,56 +1,48 @@
 package gpusim
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+
+	"astra/internal/obs"
 )
 
-// TraceEvent is one complete-duration event in the Chrome trace-event
-// format (chrome://tracing, Perfetto). The simulator's kernel records map
-// onto it directly: pid 0 is the device, tid is the stream.
-type TraceEvent struct {
-	Name     string  `json:"name"`
-	Phase    string  `json:"ph"`
-	TimeUs   float64 `json:"ts"`
-	DurUs    float64 `json:"dur"`
-	PID      int     `json:"pid"`
-	TID      int     `json:"tid"`
-	Category string  `json:"cat"`
+// ExportSpans copies the device's kernel records since the last Reset into
+// a session tracer, shifted onto the session clock by offsetUs. Kernels
+// land on the device track group (one track per stream); launch-to-start
+// gaps become "queued" spans on the launch-queue group, making
+// launch-overhead-bound schedules visually obvious. Track names are set
+// idempotently, so per-batch exports accumulate into one coherent trace.
+func (d *Device) ExportSpans(tr *obs.Tracer, offsetUs float64) {
+	tr.SetProcessName(obs.PIDDevice, "device")
+	tr.SetProcessName(obs.PIDQueue, "launch queue")
+	for s := range d.streams {
+		tr.SetThreadName(obs.PIDDevice, s, fmt.Sprintf("stream %d", s))
+		tr.SetThreadName(obs.PIDQueue, s, fmt.Sprintf("stream %d queue", s))
+	}
+	for _, r := range d.records {
+		tr.AddSpan(obs.PIDDevice, r.Stream, r.Name, "kernel",
+			offsetUs+r.StartUs, r.EndUs-r.StartUs, map[string]interface{}{
+				"tiles":        r.Tiles,
+				"tile_time_us": r.TileTimeUs,
+			})
+		if gap := r.StartUs - r.LaunchUs; gap > 0 {
+			tr.AddSpan(obs.PIDQueue, r.Stream, r.Name+" (queued)", "queue",
+				offsetUs+r.LaunchUs, gap, nil)
+		}
+	}
 }
 
 // WriteChromeTrace exports the device's kernel records since the last
-// Reset as a Chrome trace-event JSON array, so a simulated schedule can be
-// inspected in chrome://tracing or Perfetto exactly like a real GPU
-// profile. Launch-to-start gaps become "queued" events on a separate
-// track, making launch-overhead-bound schedules visually obvious.
+// Reset in the Chrome trace-event object form ({"traceEvents": [...]}),
+// with "M"-phase metadata naming the device and launch-queue processes and
+// one labeled track per stream, so a simulated schedule opens in Perfetto
+// or chrome://tracing exactly like a real GPU profile.
 func (d *Device) WriteChromeTrace(w io.Writer) error {
-	events := make([]TraceEvent, 0, 2*len(d.records))
-	for _, r := range d.records {
-		events = append(events, TraceEvent{
-			Name:     r.Name,
-			Phase:    "X",
-			TimeUs:   r.StartUs,
-			DurUs:    r.EndUs - r.StartUs,
-			PID:      0,
-			TID:      r.Stream,
-			Category: "kernel",
-		})
-		if gap := r.StartUs - r.LaunchUs; gap > 0 {
-			events = append(events, TraceEvent{
-				Name:     r.Name + " (queued)",
-				Phase:    "X",
-				TimeUs:   r.LaunchUs,
-				DurUs:    gap,
-				PID:      1,
-				TID:      r.Stream,
-				Category: "queue",
-			})
-		}
-	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(events); err != nil {
-		return fmt.Errorf("gpusim: trace export: %w", err)
+	tr := obs.NewTracer()
+	d.ExportSpans(tr, 0)
+	if err := tr.WriteChromeTrace(w); err != nil {
+		return fmt.Errorf("gpusim: %w", err)
 	}
 	return nil
 }

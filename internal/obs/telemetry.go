@@ -1,0 +1,22 @@
+package obs
+
+import "io"
+
+// Telemetry bundles the three surfaces one session reports into: the
+// multi-track trace, the metrics registry and the JSONL event log. A single
+// bundle is shared by the custom-wirer, the explorer, the profile index and
+// the device export, so one exploration session produces one coherent view.
+type Telemetry struct {
+	Trace   *Tracer
+	Metrics *Registry
+	Events  *EventLog
+}
+
+// NewTelemetry returns a bundle with tracing and metrics active and the
+// event log disabled until SetEventSink attaches a writer.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{Trace: NewTracer(), Metrics: NewRegistry(), Events: NewEventLog(nil)}
+}
+
+// SetEventSink enables the JSONL event log, writing to w.
+func (t *Telemetry) SetEventSink(w io.Writer) { t.Events.SetSink(w) }

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Track process IDs: the fixed pid layout of a session trace. Each pid is
+// one Perfetto process group; tids within it are tracks.
+const (
+	// PIDDevice holds the simulated device's kernel executions, one track
+	// per CUDA stream.
+	PIDDevice = 0
+	// PIDQueue holds launch-to-start "queued" intervals, one track per
+	// stream, making launch-overhead-bound schedules visually obvious.
+	PIDQueue = 1
+	// PIDDispatch is the CPU dispatch timeline: the session/trial hierarchy
+	// on tid 0 and the custom-wirer's per-unit dispatch spans on tid 1.
+	PIDDispatch = 2
+	// PIDExplore carries the exploration counter tracks (trials, frozen
+	// variables, batch time, profile hit rate).
+	PIDExplore = 3
+)
+
+// Dispatch-timeline thread IDs.
+const (
+	// TIDBatches is the session → trial span track.
+	TIDBatches = 0
+	// TIDWirer is the custom-wirer's fusion-group dispatch track.
+	TIDWirer = 1
+)
+
+// TraceEvent is one event in the Chrome trace-event format. Phases used
+// here: "X" (complete span), "C" (counter), "M" (metadata).
+type TraceEvent struct {
+	Name     string                 `json:"name"`
+	Category string                 `json:"cat,omitempty"`
+	Phase    string                 `json:"ph"`
+	TimeUs   float64                `json:"ts"`
+	DurUs    float64                `json:"dur,omitempty"`
+	PID      int                    `json:"pid"`
+	TID      int                    `json:"tid"`
+	Args     map[string]interface{} `json:"args,omitempty"`
+}
+
+// ChromeTrace is the object form of the trace-event file: Perfetto reads
+// the metadata events into named tracks, and displayTimeUnit controls the
+// default zoom unit.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+type trackKey struct{ pid, tid int }
+
+// Tracer accumulates spans and counter samples on the simulated session
+// clock. All methods are safe for concurrent use.
+type Tracer struct {
+	mu        sync.Mutex
+	events    []TraceEvent
+	processes map[int]string
+	threads   map[trackKey]string
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{processes: map[int]string{}, threads: map[trackKey]string{}}
+}
+
+// SetProcessName names a pid's track group (idempotent).
+func (t *Tracer) SetProcessName(pid int, name string) {
+	t.mu.Lock()
+	t.processes[pid] = name
+	t.mu.Unlock()
+}
+
+// SetThreadName names one track within a pid (idempotent).
+func (t *Tracer) SetThreadName(pid, tid int, name string) {
+	t.mu.Lock()
+	t.threads[trackKey{pid, tid}] = name
+	t.mu.Unlock()
+}
+
+// AddSpan records a complete-duration span.
+func (t *Tracer) AddSpan(pid, tid int, name, cat string, startUs, durUs float64, args map[string]interface{}) {
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: name, Category: cat, Phase: "X",
+		TimeUs: startUs, DurUs: durUs, PID: pid, TID: tid, Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// AddCounter records a counter sample; Perfetto renders one counter track
+// per (pid, name), with one series per key in values.
+func (t *Tracer) AddCounter(pid int, name string, tsUs float64, values map[string]float64) {
+	args := make(map[string]interface{}, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: name, Phase: "C", TimeUs: tsUs, PID: pid, Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of data events recorded (metadata excluded).
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded data events, in insertion order.
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// WriteChromeTrace writes the {"traceEvents": [...]} object form: "M"
+// metadata events naming every process and thread first, then the data
+// events sorted by timestamp. The output loads in Perfetto / chrome://tracing
+// with labeled tracks.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	out := make([]TraceEvent, 0, len(t.events)+len(t.processes)+len(t.threads))
+	pids := make([]int, 0, len(t.processes))
+	for pid := range t.processes {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		out = append(out, TraceEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]interface{}{"name": t.processes[pid]},
+		})
+		// process_sort_index keeps the track groups in pid order.
+		out = append(out, TraceEvent{
+			Name: "process_sort_index", Phase: "M", PID: pid,
+			Args: map[string]interface{}{"sort_index": pid},
+		})
+	}
+	tracks := make([]trackKey, 0, len(t.threads))
+	for k := range t.threads {
+		tracks = append(tracks, k)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	for _, k := range tracks {
+		out = append(out, TraceEvent{
+			Name: "thread_name", Phase: "M", PID: k.pid, TID: k.tid,
+			Args: map[string]interface{}{"name": t.threads[k]},
+		})
+	}
+	data := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+
+	sort.SliceStable(data, func(i, j int) bool { return data[i].TimeUs < data[j].TimeUs })
+	out = append(out, data...)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(ChromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("obs: trace export: %w", err)
+	}
+	return nil
+}

@@ -16,6 +16,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"astra/internal/obs"
 )
 
 // Key is a mangled (context, variable, choice) identifier.
@@ -40,6 +42,20 @@ type Index struct {
 	hits   int
 	misses int
 	trial  int
+
+	// Optional telemetry, attached by Instrument.
+	mHits   *obs.Counter
+	mMisses *obs.Counter
+	mSize   *obs.Gauge
+}
+
+// Instrument attaches a metrics registry: Has updates profile.hits /
+// profile.misses, and Record keeps profile.index_size current.
+func (ix *Index) Instrument(reg *obs.Registry) {
+	ix.mHits = reg.Counter("profile.hits", "profile index lookups that hit")
+	ix.mMisses = reg.Counter("profile.misses", "profile index lookups that missed")
+	ix.mSize = reg.Gauge("profile.index_size", "measurements stored in the profile index")
+	ix.mSize.Set(float64(len(ix.m)))
 }
 
 // NewIndex returns an empty profile index.
@@ -56,6 +72,9 @@ func (ix *Index) Record(k Key, us float64) {
 		return
 	}
 	ix.m[k] = Measurement{ValueUs: us, Trial: ix.trial}
+	if ix.mSize != nil {
+		ix.mSize.Set(float64(len(ix.m)))
+	}
 }
 
 // Has reports whether the key has been measured. It counts toward the
@@ -64,8 +83,14 @@ func (ix *Index) Has(k Key) bool {
 	_, ok := ix.m[k]
 	if ok {
 		ix.hits++
+		if ix.mHits != nil {
+			ix.mHits.Inc()
+		}
 	} else {
 		ix.misses++
+		if ix.mMisses != nil {
+			ix.mMisses.Inc()
+		}
 	}
 	return ok
 }
@@ -137,7 +162,10 @@ func (ix *Index) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(&snap)
 }
 
-// Load replaces the index contents from a Save'd snapshot.
+// Load replaces the index contents from a Save'd snapshot. Query
+// statistics and the trial tag are reset: hits and misses accumulated
+// before the snapshot was loaded belong to a different session, and keeping
+// them would corrupt warm-start hit-rate reporting.
 func (ix *Index) Load(r io.Reader) error {
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
@@ -146,6 +174,10 @@ func (ix *Index) Load(r io.Reader) error {
 	ix.m = make(map[Key]Measurement, len(snap.Entries))
 	for k, v := range snap.Entries {
 		ix.m[Key(k)] = v
+	}
+	ix.hits, ix.misses, ix.trial = 0, 0, 0
+	if ix.mSize != nil {
+		ix.mSize.Set(float64(len(ix.m)))
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"astra/internal/obs"
 )
 
 func TestRecordOnce(t *testing.T) {
@@ -126,5 +128,54 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if err := ix2.Load(bytes.NewBufferString("not json")); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+func TestHitRateResetAfterLoad(t *testing.T) {
+	// Stats accumulated before a snapshot is loaded belong to a different
+	// session; a warm-started index must report only its own queries.
+	ix := NewIndex()
+	ix.Record(K("", "v", "a"), 1)
+	for i := 0; i < 10; i++ {
+		ix.Has(K("", "v", "missing")) // drive the hit rate to 0
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if ix.HitRate() != 0 {
+		t.Fatalf("stale hit rate %v after Load", ix.HitRate())
+	}
+	if !ix.Has(K("", "v", "a")) {
+		t.Fatal("loaded entry missing")
+	}
+	if ix.HitRate() != 1 {
+		t.Fatalf("warm hit rate = %v, want 1 (stale pre-load stats leaked)", ix.HitRate())
+	}
+	// The trial tag is reset too: new recordings start from trial 0.
+	ix.Record(K("", "w", "b"), 2)
+	if m, _ := ix.Lookup(K("", "w", "b")); m.Trial != 0 {
+		t.Fatalf("post-load recording tagged trial %d", m.Trial)
+	}
+}
+
+func TestInstrumentedIndex(t *testing.T) {
+	reg := obs.NewRegistry()
+	ix := NewIndex()
+	ix.Instrument(reg)
+	ix.Record(K("", "v", "a"), 1)
+	ix.Has(K("", "v", "a"))
+	ix.Has(K("", "v", "b"))
+	if got := reg.Counter("profile.hits", "").Value(); got != 1 {
+		t.Fatalf("profile.hits = %v", got)
+	}
+	if got := reg.Counter("profile.misses", "").Value(); got != 1 {
+		t.Fatalf("profile.misses = %v", got)
+	}
+	if got := reg.Gauge("profile.index_size", "").Value(); got != 1 {
+		t.Fatalf("profile.index_size = %v", got)
 	}
 }

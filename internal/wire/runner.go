@@ -17,6 +17,7 @@ import (
 	"astra/internal/gpusim"
 	"astra/internal/graph"
 	"astra/internal/kernels"
+	"astra/internal/obs"
 )
 
 // RunnerConfig tunes the dispatcher.
@@ -66,6 +67,32 @@ type Runner struct {
 	Plan *enumerate.Plan
 	Dev  *gpusim.Device
 	Cfg  RunnerConfig
+
+	// obs, when attached, receives per-unit dispatch spans on the CPU
+	// timeline and the per-batch wirer span; traceOffsetUs places each
+	// batch's device-relative clock onto the session-wide clock.
+	// traceDetail gates the per-unit spans (the session bounds how many
+	// batches get kernel-level detail so long traces stay loadable).
+	obs           *obs.Telemetry
+	traceOffsetUs float64
+	traceDetail   bool
+}
+
+// Instrument attaches a telemetry bundle; subsequent batches emit dispatch
+// spans onto its tracer.
+func (r *Runner) Instrument(tel *obs.Telemetry) {
+	r.obs = tel
+	tel.Trace.SetProcessName(obs.PIDDispatch, "cpu dispatch")
+	tel.Trace.SetThreadName(obs.PIDDispatch, obs.TIDBatches, "session / trials")
+	tel.Trace.SetThreadName(obs.PIDDispatch, obs.TIDWirer, "wirer dispatch")
+}
+
+// SetTraceOffset sets the session-clock offset applied to the next batch's
+// spans (the session's clock at the batch's start) and whether the batch
+// gets per-unit dispatch detail.
+func (r *Runner) SetTraceOffset(us float64, detail bool) {
+	r.traceOffsetUs = us
+	r.traceDetail = detail
 }
 
 // NewRunner builds a runner and sizes the device's stream set.
@@ -160,6 +187,13 @@ func (r *Runner) RunBatch(inputs graph.Env, params graph.Env) BatchResult {
 	}
 	if r.Cfg.Profile {
 		r.extractMetrics(st, &res)
+	}
+	if r.obs != nil {
+		r.obs.Trace.AddSpan(obs.PIDDispatch, obs.TIDWirer, "dispatch batch", "wirer",
+			r.traceOffsetUs, res.TotalUs, map[string]interface{}{
+				"kernels": res.Kernels,
+				"events":  res.Events,
+			})
 	}
 	return res
 }
@@ -290,8 +324,27 @@ func (r *Runner) superEpochBarrier(st *dispatchState) {
 	st.prevEpochStream = nil
 }
 
+// unitLabel names a schedule unit for the dispatch trace track.
+func unitLabel(u *enumerate.Unit) string {
+	switch u.Kind {
+	case enumerate.UnitGEMMGroup:
+		return "group " + u.Group.ID
+	case enumerate.UnitEWChain:
+		return fmt.Sprintf("ew-chain[%d]", len(u.Nodes))
+	default:
+		return u.Nodes[0].Op.String()
+	}
+}
+
 // dispatchUnit launches the kernels of one schedule unit on its stream.
 func (r *Runner) dispatchUnit(st *dispatchState, u *enumerate.Unit, stream int) {
+	if r.obs != nil && r.traceDetail {
+		t0 := r.Dev.CPUTimeUs()
+		defer func() {
+			r.obs.Trace.AddSpan(obs.PIDDispatch, obs.TIDWirer, unitLabel(u), "dispatch",
+				r.traceOffsetUs+t0, r.Dev.CPUTimeUs()-t0, map[string]interface{}{"stream": stream})
+		}()
+	}
 	// Event pairs wrap only regions whose adaptive variables still need a
 	// measurement this trial: converged regions are never re-measured
 	// (§4.1 — one measurement suffices), which is what keeps the always-on

@@ -1,12 +1,15 @@
 package wire
 
 import (
+	"fmt"
+
 	"astra/internal/adapt"
 	"astra/internal/autodiff"
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
 	"astra/internal/graph"
 	"astra/internal/models"
+	"astra/internal/obs"
 	"astra/internal/profile"
 )
 
@@ -36,6 +39,46 @@ type Session struct {
 	Trials int
 	// ExploreUs accumulates simulated time spent while exploring.
 	ExploreUs float64
+	// Batches counts every mini-batch run (exploring and wired).
+	Batches int
+	// ClockUs is the session-wide simulated clock: the sum of all batch
+	// times. Telemetry spans are placed on this clock.
+	ClockUs float64
+	// ProfOverheadUs accumulates the CPU cost of profiling-only events
+	// across the session (the numerator of the §6.4 <0.5% claim).
+	ProfOverheadUs float64
+
+	// Obs, when attached via Instrument, receives spans, metrics and trial
+	// events for every batch.
+	Obs *obs.Telemetry
+	// TraceDetailBatches bounds how many exploration batches and how many
+	// wired batches export kernel-level detail (device spans, launch-queue
+	// spans, per-unit dispatch spans). Trial spans, counter tracks, metrics
+	// and event-log records always cover the whole session. 0 means
+	// DefaultTraceDetailBatches; negative means unlimited (multi-hundred-MB
+	// traces for paper-scale sessions).
+	TraceDetailBatches int
+	wiredBatches       int
+}
+
+// DefaultTraceDetailBatches keeps a full exploration session's trace
+// loadable in Perfetto: kernel-level detail for this many exploration and
+// wired batches each, counters and trial spans for everything.
+const DefaultTraceDetailBatches = 8
+
+// traceDetail reports whether the next batch gets kernel-level spans.
+func (s *Session) traceDetail(exploring bool) bool {
+	limit := s.TraceDetailBatches
+	if limit == 0 {
+		limit = DefaultTraceDetailBatches
+	}
+	if limit < 0 {
+		return true
+	}
+	if exploring {
+		return s.Batches < limit
+	}
+	return s.wiredBatches < limit
 }
 
 // SessionConfig configures NewSession.
@@ -79,11 +122,135 @@ func NewSession(m *models.Model, cfg SessionConfig) *Session {
 	return s
 }
 
+// Instrument attaches a telemetry bundle to the whole pipeline: the runner
+// (dispatch spans), the explorer (trial/frozen-variable metrics) and the
+// profile index (hit/miss counters). Subsequent Steps emit one trial span,
+// one set of counter samples and one event-log record per mini-batch, and
+// merge the device's kernel records into the session trace.
+func (s *Session) Instrument(tel *obs.Telemetry) {
+	s.Obs = tel
+	s.Runner.Instrument(tel)
+	s.Ix.Instrument(tel.Metrics)
+	if s.Exp != nil {
+		s.Exp.Instrument(tel.Metrics)
+	}
+	tel.Trace.SetProcessName(obs.PIDExplore, "exploration")
+	// Pre-register the session metrics so an exposition before the first
+	// batch already shows the schema.
+	tel.Metrics.Histogram("batch.total_us", "simulated mini-batch time")
+	tel.Metrics.Counter("session.sim_time_us", "total simulated session time")
+	tel.Metrics.Counter("wirer.profiling_overhead_us", "CPU cost of profiling-only events")
+	tel.Metrics.Counter("wirer.kernels", "kernels launched")
+	tel.Metrics.Counter("wirer.events", "cudaEvents recorded or waited on")
+	tel.Metrics.Gauge("profile.hit_rate", "profile index hit rate")
+}
+
+// CloseTelemetry emits the session-level root span; call once after the
+// last batch, before exporting the trace.
+func (s *Session) CloseTelemetry() {
+	if s.Obs == nil {
+		return
+	}
+	s.Obs.Trace.AddSpan(obs.PIDDispatch, obs.TIDBatches,
+		"session "+s.Model.Name, "session", 0, s.ClockUs, map[string]interface{}{
+			"model":   s.Model.Name,
+			"batches": s.Batches,
+			"trials":  s.Trials,
+		})
+}
+
+// explorerBindings snapshots the choice labels of the variables the
+// explorer actively measured this trial — the delta of the configuration.
+// (A full binding of every variable would repeat ~O(vars) entries per trial
+// and dominate the log; the recording set is exactly what this trial's
+// measurements attach to.)
+func (s *Session) explorerBindings() map[string]string {
+	if s.Exp == nil {
+		return nil
+	}
+	out := map[string]string{}
+	for _, v := range s.Exp.Vars() {
+		if v.Recording() {
+			out[v.ID] = v.CurrentLabel()
+		}
+	}
+	return out
+}
+
+// recordBatchTelemetry emits the batch's span, counter samples, registry
+// updates and event-log record. startUs is the session clock at batch
+// start; bindings were captured before the explorer advanced.
+func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]string, exploring, detail bool) {
+	tel := s.Obs
+	startUs := s.ClockUs
+	endUs := startUs + res.TotalUs
+
+	// Trial span on the dispatch timeline (nested inside the session span).
+	name := fmt.Sprintf("batch %d (wired)", s.Batches)
+	phase := "wired"
+	if exploring {
+		name = fmt.Sprintf("trial %d", s.Trials)
+		phase = "explore"
+	}
+	args := map[string]interface{}{"kernels": res.Kernels}
+	for k, v := range bindings {
+		args["bind."+k] = v
+	}
+	tel.Trace.AddSpan(obs.PIDDispatch, obs.TIDBatches, name, phase, startUs, res.TotalUs, args)
+
+	// Device streams and launch queues, shifted onto the session clock —
+	// only for detail batches, so long sessions stay loadable.
+	if detail {
+		s.Runner.Dev.ExportSpans(tel.Trace, startUs)
+	}
+
+	// Exploration counter tracks.
+	frozen, total := 0, 0
+	if s.Exp != nil {
+		frozen, total = s.Exp.FrozenCount()
+	}
+	tel.Trace.AddCounter(obs.PIDExplore, "explore.trials", endUs, map[string]float64{"trials": float64(s.Trials)})
+	tel.Trace.AddCounter(obs.PIDExplore, "explore.frozen_vars", endUs, map[string]float64{"frozen": float64(frozen)})
+	tel.Trace.AddCounter(obs.PIDExplore, "batch.total_us", endUs, map[string]float64{"us": res.TotalUs})
+	tel.Trace.AddCounter(obs.PIDExplore, "profile.hit_rate", endUs, map[string]float64{"rate": s.Ix.HitRate()})
+
+	// Metrics registry.
+	tel.Metrics.Histogram("batch.total_us", "").Observe(res.TotalUs)
+	tel.Metrics.Counter("session.sim_time_us", "").Add(res.TotalUs)
+	tel.Metrics.Counter("wirer.profiling_overhead_us", "").Add(res.ProfilingOverheadUs())
+	tel.Metrics.Counter("wirer.kernels", "").Add(float64(res.Kernels))
+	tel.Metrics.Counter("wirer.events", "").Add(float64(res.Events))
+	tel.Metrics.Gauge("profile.hit_rate", "").Set(s.Ix.HitRate())
+
+	// One structured record per mini-batch.
+	_ = tel.Events.Emit(obs.TrialEvent{
+		Batch:          s.Batches,
+		Trial:          s.Trials,
+		Phase:          phase,
+		StartUs:        startUs,
+		BatchUs:        res.TotalUs,
+		Kernels:        res.Kernels,
+		Events:         res.Events,
+		ProfOverheadUs: res.ProfilingOverheadUs(),
+		HitRate:        s.Ix.HitRate(),
+		FrozenVars:     frozen,
+		TotalVars:      total,
+		Bindings:       bindings,
+		Metrics:        res.Metrics,
+	})
+}
+
 // Step runs one training mini-batch with the current configuration. While
 // exploration is in progress the measurements feed the explorer, which then
 // advances to the next configuration; afterwards batches run with the
 // wired-in best configuration.
 func (s *Session) Step() BatchResult {
+	exploring := s.Exp != nil && !s.Exp.Done()
+	detail := false
+	if s.Obs != nil {
+		detail = s.traceDetail(exploring)
+		s.Runner.SetTraceOffset(s.ClockUs, detail)
+	}
 	var res BatchResult
 	if s.EvalValues {
 		in := s.Model.MakeInputs(s.batchSeed)
@@ -95,12 +262,26 @@ func (s *Session) Step() BatchResult {
 	} else {
 		res = s.Runner.RunBatch(nil, nil)
 	}
-	if s.Exp != nil && !s.Exp.Done() {
+	var bindings map[string]string
+	if exploring {
+		if s.Obs != nil {
+			// Capture the tried configuration before Advance moves on.
+			bindings = s.explorerBindings()
+		}
 		s.Exp.Observe(res.Metrics)
 		s.Exp.Advance()
 		s.Trials++
 		s.ExploreUs += res.TotalUs
 	}
+	s.Batches++
+	if !exploring {
+		s.wiredBatches++
+	}
+	s.ProfOverheadUs += res.ProfilingOverheadUs()
+	if s.Obs != nil {
+		s.recordBatchTelemetry(&res, bindings, exploring, detail)
+	}
+	s.ClockUs += res.TotalUs
 	return res
 }
 
