@@ -2,14 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet race bench experiments experiments-quick cover clean
+.PHONY: all build test test-short vet lint race bench experiments experiments-quick cover clean
 
-all: build vet test race
+all: build lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+# Formatting + static checks; fails listing the unformatted files, if any.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
 test:

@@ -147,6 +147,22 @@ type Options struct {
 	// Autoboost leaves GPU clock boosting on, violating the repeatability
 	// requirement of §7 — exploration still works but picks noisy winners.
 	Autoboost bool
+	// Jitter overrides the autoboost jitter amplitude (default 0.08 when
+	// Autoboost is on).
+	Jitter float64
+	// Samples requires each measurement to be the mean of this many
+	// repeated trials before a choice can freeze (default 1, the paper's
+	// first-measurement-wins rule). Raise it when Autoboost is on so the
+	// explorer averages out clock noise.
+	Samples int
+	// Watchdog enables the wired-phase drift watchdog: sustained deviation
+	// of wired batch times from the wired expectation thaws the explorer
+	// and re-explores in-session.
+	Watchdog bool
+	// Faults injects deterministic hardware misbehavior into the simulated
+	// device (straggler kernels, clock-throttle windows) for testing the
+	// noise-robustness machinery.
+	Faults gpusim.FaultConfig
 	// ProfileSnapshot warm-starts the session from a profile index saved
 	// by Session.SaveProfile in an earlier run of the same job.
 	ProfileSnapshot io.Reader
@@ -163,9 +179,22 @@ type Session struct {
 func Compile(m *Model, opts Options) *Session {
 	dev := gpusim.P100()
 	dev.Autoboost = opts.Autoboost
+	if opts.Jitter > 0 {
+		dev.Autoboost = true
+		dev.BoostJitter = opts.Jitter
+	}
+	dev.Faults = opts.Faults
 	eopts := enumerate.PresetOptions(opts.Level.preset())
 	if opts.Streams > 0 {
 		eopts.NumStreams = opts.Streams
+	}
+	ix := profile.NewIndex()
+	if opts.Samples > 1 {
+		ix.SetPolicy(profile.FixedSamples(opts.Samples))
+	}
+	if opts.ProfileSnapshot != nil {
+		// Best-effort warm start: a corrupt snapshot leaves a cold index.
+		_ = ix.Load(opts.ProfileSnapshot)
 	}
 	cfg := wire.SessionConfig{
 		Device:       dev,
@@ -173,14 +202,10 @@ func Compile(m *Model, opts Options) *Session {
 		Runner:       wire.RunnerConfig{PerOpCPUUs: 2},
 		EvalValues:   opts.EvalValues,
 		LearningRate: opts.LearningRate,
-	}
-	if opts.ProfileSnapshot != nil {
-		ix := profile.NewIndex()
-		if err := ix.Load(opts.ProfileSnapshot); err == nil {
-			cfg.Index = ix
-		}
+		Index:        ix,
 	}
 	s := wire.NewSession(m.m, cfg)
+	s.Drift = wire.DriftConfig{Enabled: opts.Watchdog}
 	return &Session{s: s, model: m}
 }
 
@@ -228,6 +253,15 @@ func (s *Session) Step() float64 { return s.s.Step().TotalUs }
 
 // Done reports whether exploration has converged.
 func (s *Session) Done() bool { return s.s.Done() }
+
+// Err reports a failed exploration: non-nil when the explorer got stuck
+// (active variables were never measured). Done() is also true then, so
+// callers must check Err before trusting the wired schedule.
+func (s *Session) Err() error { return s.s.Err() }
+
+// DriftEvents counts wired-phase drift-watchdog firings (thaw +
+// re-exploration) so far in the session.
+func (s *Session) DriftEvents() int { return s.s.DriftEvents }
 
 // Loss returns the current loss value; it requires EvalValues.
 func (s *Session) Loss() (float64, error) {

@@ -37,6 +37,9 @@ func main() {
 	eventsOut := flag.String("events-out", "", "write the JSONL exploration event log to this file")
 	metrics := flag.Bool("metrics", false, "print the Prometheus metrics exposition at exit")
 	timeline := flag.String("timeline", "", "write a Chrome trace of the last mini-batch only (device view)")
+	jitter := flag.Float64("jitter", 0, "autoboost clock-jitter amplitude (e.g. 0.08); >0 leaves autoboost on")
+	samples := flag.Int("samples", 1, "measurements per configuration before a choice can freeze")
+	driftAt := flag.Int("drift-at", 0, "inject a sustained clock throttle from this batch on and enable the drift watchdog")
 	flag.Parse()
 
 	m, err := astra.BuildModel(*model, astra.ModelConfig{Batch: *batch})
@@ -47,7 +50,16 @@ func main() {
 
 	switch *dispatcher {
 	case "astra":
-		runAstra(m, *level, *batches, *report, *traceOut, *eventsOut, *metrics, *timeline)
+		opts := astra.Options{
+			Level:   astra.Level(*level),
+			Jitter:  *jitter,
+			Samples: *samples,
+		}
+		if *driftAt > 0 {
+			opts.Watchdog = true
+			opts.Faults.ThrottleStartBatch = *driftAt
+		}
+		runAstra(m, opts, *batches, *report, *traceOut, *eventsOut, *metrics, *timeline)
 	case "native", "tf":
 		fw := baselines.PyTorch()
 		if *dispatcher == "tf" {
@@ -77,8 +89,8 @@ func main() {
 	}
 }
 
-func runAstra(m *astra.Model, level string, batches int, report bool, traceOut, eventsOut string, metrics bool, timeline string) {
-	sess := astra.Compile(m, astra.Options{Level: astra.Level(level)})
+func runAstra(m *astra.Model, opts astra.Options, batches int, report bool, traceOut, eventsOut string, metrics bool, timeline string) {
+	sess := astra.Compile(m, opts)
 
 	// Telemetry must attach before Explore so the trace and event log
 	// cover every exploration trial.
@@ -97,6 +109,9 @@ func runAstra(m *astra.Model, level string, batches int, report bool, traceOut, 
 	}
 
 	stats := sess.Explore()
+	if err := sess.Err(); err != nil {
+		fail(fmt.Errorf("exploration failed: %w", err))
+	}
 	fmt.Printf("explored %d configurations across %d allocation strategies\n",
 		stats.Configs, stats.AllocStrategies)
 	fmt.Printf("wired mini-batch: %.0f us (native PyTorch: %.0f us) -> speedup %.2fx\n",
@@ -104,6 +119,20 @@ func runAstra(m *astra.Model, level string, batches int, report bool, traceOut, 
 	fmt.Printf("always-on profiling overhead: %.3f%%\n", stats.ProfilingOverhead*100)
 	for i := 0; i < batches; i++ {
 		fmt.Printf("  step %d: %.0f us\n", i+1, sess.Step())
+		if !sess.Done() {
+			// A drift event thawed the explorer mid-wired-phase:
+			// re-explore in-session and continue wired.
+			fmt.Printf("  drift detected -> re-exploring\n")
+			re := sess.Explore()
+			if err := sess.Err(); err != nil {
+				fail(fmt.Errorf("re-exploration failed: %w", err))
+			}
+			fmt.Printf("  re-wired after %d total configurations: %.0f us\n",
+				re.Configs, re.WiredBatchUs)
+		}
+	}
+	if n := sess.DriftEvents(); n > 0 {
+		fmt.Printf("drift events: %d\n", n)
 	}
 	if report {
 		fmt.Println()

@@ -272,18 +272,142 @@ func TestNestedTreeConverges(t *testing.T) {
 	}
 }
 
-func TestStuckExplorationPanics(t *testing.T) {
+func TestStuckExplorationSurfacesStickyError(t *testing.T) {
+	// A custom-wirer that never measures the active variables must not
+	// crash the process: Advance reports a sticky error, Done turns true so
+	// session loops terminate, and the variables stay unvalidated.
 	ix := profile.NewIndex()
 	v := NewVar("v", "a", "b")
 	e := NewExplorer(LeafNode(v), ix)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected stuck-exploration panic")
-		}
-	}()
 	for i := 0; i < 100; i++ {
 		e.Observe(map[string]float64{}) // never measures v
-		e.Advance()
+		if !e.Advance() {
+			break
+		}
+	}
+	if e.Err() == nil {
+		t.Fatal("stuck exploration produced no error")
+	}
+	if !e.Done() {
+		t.Fatal("errored exploration must report Done so session loops exit")
+	}
+	if e.Advance() {
+		t.Fatal("Advance after sticky error kept going")
+	}
+	if !strings.Contains(e.Err().Error(), "stuck") {
+		t.Fatalf("unhelpful error: %v", e.Err())
+	}
+}
+
+func TestPrefixContextAccumulatesAllEarlierSiblings(t *testing.T) {
+	// With ≥3 prefix children, the context of child c must depend on the
+	// frozen choices of *all* earlier siblings. Child b has a single choice,
+	// so its digest never changes: rebuilding c's context from b alone
+	// (the old bug) would make c blind to a's frozen choice.
+	run := func(costA []float64) (string, *Var) {
+		ix := profile.NewIndex()
+		a := NewVar("a", "0", "1")
+		b := NewVar("b", "only")
+		c := NewVar("c", "0", "1")
+		e := NewExplorer(NewNode("se", Prefix, LeafNode(a), LeafNode(b), LeafNode(c)), ix)
+		drive(t, e, func() map[string]float64 {
+			return map[string]float64{
+				"a": costA[a.Current()],
+				"b": 1,
+				"c": float64(1 + c.Current()),
+			}
+		}, 50)
+		return c.Context(), a
+	}
+	ctxA0, a0 := run([]float64{1, 2}) // a freezes to 0
+	ctxA1, a1 := run([]float64{2, 1}) // a freezes to 1
+	if a0.Current() != 0 || a1.Current() != 1 {
+		t.Fatalf("setup broken: a froze to %d and %d", a0.Current(), a1.Current())
+	}
+	if ctxA0 == ctxA1 {
+		t.Fatalf("c's context %q ignores a's frozen choice (b's digest repeats)", ctxA0)
+	}
+}
+
+func TestThawReExploresWithFreshMeasurements(t *testing.T) {
+	// Converge, then shift the cost model (a drifting device) and Thaw: the
+	// explorer must evict the stale measurements, re-explore, and land on
+	// the new best.
+	ix := profile.NewIndex()
+	a := NewVar("a", "0", "1")
+	b := NewVar("b", "0", "1")
+	e := NewExplorer(NewNode("root", Parallel, LeafNode(a), LeafNode(b)), ix)
+	cost := map[string][]float64{"a": {1, 5}, "b": {5, 1}}
+	metrics := func() map[string]float64 {
+		return map[string]float64{"a": cost["a"][a.Current()], "b": cost["b"][b.Current()]}
+	}
+	drive(t, e, metrics, 20)
+	if a.Current() != 0 || b.Current() != 1 {
+		t.Fatalf("pre-drift converged to (%d,%d)", a.Current(), b.Current())
+	}
+
+	cost["a"] = []float64{5, 1} // the device drifted: a's best flipped
+	if evicted := e.Thaw("a"); evicted == 0 {
+		t.Fatal("Thaw evicted nothing")
+	}
+	if e.Done() {
+		t.Fatal("thawed explorer claims convergence")
+	}
+	if b.Frozen() != true {
+		t.Fatal("untouched variable b lost its frozen state")
+	}
+	drive(t, e, metrics, 40)
+	if a.Current() != 1 {
+		t.Fatalf("post-drift a = %d, want 1", a.Current())
+	}
+	if e.Reexplorations() != 1 {
+		t.Fatalf("Reexplorations = %d", e.Reexplorations())
+	}
+
+	// Thaw with no arguments thaws everything.
+	if e.Thaw() == 0 {
+		t.Fatal("full thaw evicted nothing")
+	}
+	if frozen, _ := e.FrozenCount(); frozen != 0 {
+		t.Fatalf("%d vars still frozen after full thaw", frozen)
+	}
+	drive(t, e, metrics, 40)
+	if !e.Done() || e.Err() != nil {
+		t.Fatal("full re-exploration did not reconverge")
+	}
+}
+
+func TestMultiSamplePolicyKeepsRecordingUntilSatisfied(t *testing.T) {
+	// Under a FixedSamples(3) policy the explorer must hold each choice
+	// active for three trials and freeze on the better *mean*, not on a
+	// lucky first sample.
+	ix := profile.NewIndex()
+	ix.SetPolicy(profile.FixedSamples(3))
+	v := NewVar("v", "good", "bad")
+	e := NewExplorer(LeafNode(v), ix)
+	// good: noisy around 10 with one lucky-looking 6; bad: consistent 9.
+	seq := map[string][]float64{
+		"good": {14, 10, 12},
+		"bad":  {9, 9, 9},
+	}
+	seen := map[string]int{}
+	drive(t, e, func() map[string]float64 {
+		l := v.CurrentLabel()
+		s := seq[l][seen[l]%3]
+		seen[l]++
+		return map[string]float64{"v": s}
+	}, 20)
+	if got := ix.SampleCount(profile.K("", "v", "good")); got != 3 {
+		t.Fatalf("good sampled %d times, want 3", got)
+	}
+	if got := ix.SampleCount(profile.K("", "v", "bad")); got != 3 {
+		t.Fatalf("bad sampled %d times, want 3", got)
+	}
+	if v.CurrentLabel() != "bad" {
+		t.Fatalf("froze on %s; mean of 'bad' (9) beats mean of 'good' (12)", v.CurrentLabel())
+	}
+	if e.Trials() != 6 {
+		t.Fatalf("took %d trials, want 6 (2 choices x 3 samples)", e.Trials())
 	}
 }
 

@@ -25,12 +25,16 @@ type Explorer struct {
 	vars   []*Var
 	done   bool
 	trials int
+	err    error
 
-	// noProgress counts consecutive Advance calls that neither grew the
-	// index nor finished exploration; it guards against a custom-wirer
-	// that fails to measure the active variables.
-	noProgress int
-	lastIxLen  int
+	// noProgress counts consecutive Advance calls that neither recorded
+	// new samples nor finished exploration; it guards against a
+	// custom-wirer that fails to measure the active variables.
+	noProgress  int
+	lastSamples int
+	// reexplorations counts Thaw calls — in-session re-explorations
+	// triggered by drift or an explicit re-tune.
+	reexplorations int
 
 	// frozeAt records, per variable ID, the trial at which the variable
 	// last transitioned to frozen — the exploration-convergence timeline.
@@ -41,6 +45,7 @@ type Explorer struct {
 	mTrials    *obs.Counter
 	mFrozen    *obs.Gauge
 	mVarsTotal *obs.Gauge
+	mReexplore *obs.Counter
 }
 
 // NewExplorer initializes the tree and positions it at the first
@@ -63,6 +68,7 @@ func (e *Explorer) Instrument(reg *obs.Registry) {
 	e.mTrials = reg.Counter("explore.trials", "exploration mini-batches consumed")
 	e.mFrozen = reg.Gauge("explore.frozen_vars", "adaptive variables frozen at their best choice")
 	e.mVarsTotal = reg.Gauge("explore.vars_total", "adaptive variables in the update tree")
+	e.mReexplore = reg.Counter("explore.reexplorations", "in-session thaw/re-explore rounds")
 	frozen, total := e.FrozenCount()
 	e.mFrozen.Set(float64(frozen))
 	e.mVarsTotal.Set(float64(total))
@@ -122,9 +128,18 @@ func (e *Explorer) ConvergenceTimeline() []ConvergencePoint {
 	return out
 }
 
-// Done reports whether exploration has converged: every variable frozen at
-// its best choice for its final context.
-func (e *Explorer) Done() bool { return e.done }
+// Done reports whether exploration has stopped: every variable frozen at
+// its best choice for its final context, or exploration failed (see Err).
+func (e *Explorer) Done() bool { return e.done || e.err != nil }
+
+// Err returns the sticky exploration error: non-nil once Advance detects
+// stuck exploration (the custom-wirer stopped measuring the active
+// variables). A session with a non-nil Err failed; its variables are not at
+// validated bests.
+func (e *Explorer) Err() error { return e.err }
+
+// Reexplorations returns how many thaw/re-explore rounds the session ran.
+func (e *Explorer) Reexplorations() int { return e.reexplorations }
 
 // Trials returns the number of mini-batches consumed by exploration so far
 // — the "number of configs" of Table 7.
@@ -153,26 +168,79 @@ func (e *Explorer) Observe(metrics map[string]float64) {
 // after Observe; when it returns false the exploration is complete and all
 // variables hold their best choices.
 func (e *Explorer) Advance() bool {
-	if e.done {
+	if e.done || e.err != nil {
 		return false
 	}
-	// Progress means Observe grew the index since the last Advance; a
-	// custom-wirer that never measures the active variables would loop on
-	// the same configuration forever.
-	if e.ix.Len() == e.lastIxLen {
+	// Progress means Observe recorded new samples since the last Advance
+	// (multi-sample policies re-measure the same key, so the index length
+	// alone is not the signal); a custom-wirer that never measures the
+	// active variables would loop on the same configuration forever. The
+	// error is sticky: library code must not panic on a misbehaving wirer.
+	if e.ix.Samples() == e.lastSamples {
 		e.noProgress++
 		if e.noProgress > 10 {
-			panic(fmt.Sprintf("adapt: exploration stuck after %d trials — active variables are not being measured", e.trials))
+			e.err = fmt.Errorf("adapt: exploration stuck after %d trials — active variables are not being measured", e.trials)
+			return false
 		}
 	} else {
 		e.noProgress = 0
 	}
-	e.lastIxLen = e.ix.Len()
+	e.lastSamples = e.ix.Samples()
 	e.trials++
 	e.ix.SetTrial(e.trials)
 	if e.mTrials != nil {
 		e.mTrials.Inc()
 	}
+	e.done = e.setup(e.root, "")
+	e.noteFreezes()
+	return !e.done
+}
+
+// Thaw unfreezes the given variables (every variable in the tree when none
+// are named), evicts their profile measurements in all contexts, and
+// re-enters exploration. Dependent measurements of later prefix siblings
+// are invalidated by the context-mangling machinery on their own: when a
+// thawed variable re-freezes to a different choice its digest changes, the
+// dependent keys miss, and exactly the affected subtree re-measures. The
+// wired-phase drift watchdog calls this with no arguments — after a device
+// characteristic shifts, every old measurement is suspect. Returns the
+// number of evicted index entries.
+func (e *Explorer) Thaw(varIDs ...string) int {
+	ids := map[string]bool{}
+	if len(varIDs) == 0 {
+		for _, v := range e.vars {
+			ids[v.ID] = true
+		}
+	} else {
+		for _, id := range varIDs {
+			ids[id] = true
+		}
+	}
+	evicted := 0
+	for _, v := range e.vars {
+		if !ids[v.ID] {
+			continue
+		}
+		v.frozen = false
+		v.frozenCtx = ""
+		e.wasFrozen[v.ID] = false
+		delete(e.frozeAt, v.ID)
+		evicted += e.ix.EvictVar(v.ID)
+	}
+	e.reexplorations++
+	if e.mReexplore != nil {
+		e.mReexplore.Inc()
+	}
+	e.noProgress = 0
+	e.lastSamples = e.ix.Samples()
+	e.ReExplore()
+	return evicted
+}
+
+// ReExplore re-walks the tree against the current index contents and
+// recomputes convergence — call it after mutating the index (Thaw does this
+// itself). It returns true when exploration has work to do again.
+func (e *Explorer) ReExplore() bool {
 	e.done = e.setup(e.root, "")
 	e.noteFreezes()
 	return !e.done
@@ -230,7 +298,10 @@ func (e *Explorer) setupLeaf(v *Var, ctx string) bool {
 // setupPrefix explores children left to right. Earlier siblings freeze at
 // their best and a digest of their frozen labels becomes part of the later
 // siblings' context, making the exploration history-aware while staying
-// additive in the number of children (§4.5.4).
+// additive in the number of children (§4.5.4). The digests of *all* earlier
+// siblings accumulate into the context: rebuilding it from only the
+// immediately-preceding sibling would let a change in child A's frozen
+// choice go unnoticed by child C whenever child B's digest repeats.
 func (e *Explorer) setupPrefix(t *Tree, ctx string) bool {
 	childCtx := ctx
 	for i, child := range t.Children {
@@ -241,7 +312,7 @@ func (e *Explorer) setupPrefix(t *Tree, ctx string) bool {
 			}
 			return false
 		}
-		childCtx = ctx + "/" + t.Title + ":" + digest(child)
+		childCtx = childCtx + "/" + t.Title + ":" + digest(child)
 	}
 	return true
 }

@@ -47,11 +47,47 @@ type Config struct {
 	HostTransferLatencyUs  float64
 	HostTransferBytesPerUs float64
 	// Autoboost enables clock jitter: each kernel's tile time is scaled by
-	// a factor drawn uniformly from [1-BoostJitter, 1+BoostJitter].
+	// a factor drawn uniformly from [1-BoostJitter, 1+BoostJitter]. The
+	// jitter stream reseeds per batch (Seed mixed with the batch index), so
+	// re-measuring the same configuration in a later batch sees different
+	// noise — which is what multi-sample profiling averages away — while
+	// the same seed still reproduces the same session bit for bit.
 	Autoboost   bool
 	BoostJitter float64
 	// Seed drives the autoboost jitter stream.
 	Seed uint64
+	// Faults configures deterministic seeded fault injection (transient
+	// straggler kernels and sustained clock-throttle windows); the zero
+	// value disables it.
+	Faults FaultConfig
+}
+
+// FaultConfig injects device-level faults deterministically: the same seed
+// and batch sequence reproduce the same faults, so noisy-session tests and
+// the drift watchdog are testable run to run.
+type FaultConfig struct {
+	// StragglerProb is the per-kernel probability of a transient straggler:
+	// the kernel's tiles run StragglerFactor (default 3) times slower, the
+	// way a single unlucky kernel stalls on a real device.
+	StragglerProb   float64
+	StragglerFactor float64
+	// Seed drives the straggler stream (default Config.Seed). The stream
+	// persists across Reset so the straggler pattern differs batch to batch
+	// but is identical run to run.
+	Seed uint64
+	// ThrottleStartBatch (1-based; 0 disables) opens a sustained
+	// clock-throttle window: every kernel in batches [start, start+n) runs
+	// ThrottleFactor (default 1.3) times slower — the mid-session drift the
+	// wired-phase watchdog exists to catch. ThrottleBatches <= 0 keeps the
+	// window open for the rest of the session.
+	ThrottleStartBatch int
+	ThrottleBatches    int
+	ThrottleFactor     float64
+}
+
+// Enabled reports whether any fault injection is configured.
+func (f FaultConfig) Enabled() bool {
+	return f.StragglerProb > 0 || f.ThrottleStartBatch > 0
 }
 
 // P100 returns the configuration used throughout the evaluation, standing
@@ -162,6 +198,8 @@ type Device struct {
 	batches  batchHeap
 	records  []*KernelRecord
 	rng      *tensor.RNG
+	faultRNG *tensor.RNG // persists across Reset; drives straggler injection
+	batch    int         // 1-based batch counter, advanced by Reset
 	eventSeq int
 	smBusyUs float64 // integral of busy SMs over device time
 }
@@ -171,9 +209,32 @@ func NewDevice(cfg Config) *Device {
 	if cfg.NumSMs <= 0 {
 		panic("gpusim: NumSMs must be positive")
 	}
-	d := &Device{cfg: cfg, freeSMs: cfg.NumSMs, rng: tensor.NewRNG(cfg.Seed)}
+	fseed := cfg.Faults.Seed
+	if fseed == 0 {
+		fseed = cfg.Seed
+	}
+	d := &Device{
+		cfg: cfg, freeSMs: cfg.NumSMs,
+		rng:      tensor.NewRNG(cfg.Seed),
+		faultRNG: tensor.NewRNG(fseed),
+	}
 	d.streams = []*stream{{}}
 	return d
+}
+
+// Batch returns the 1-based index of the current mini-batch (0 before the
+// first Reset). The runner resets the device once per batch, so this is the
+// session's batch counter — the clock fault windows are expressed in.
+func (d *Device) Batch() int { return d.batch }
+
+// Throttled reports whether the current batch falls inside a configured
+// clock-throttle window.
+func (d *Device) Throttled() bool {
+	f := d.cfg.Faults
+	if f.ThrottleStartBatch <= 0 || d.batch < f.ThrottleStartBatch {
+		return false
+	}
+	return f.ThrottleBatches <= 0 || d.batch < f.ThrottleStartBatch+f.ThrottleBatches
 }
 
 // Config returns the device configuration.
@@ -204,7 +265,10 @@ func (d *Device) Records() []*KernelRecord { return d.records }
 // of the utilization statistics in reports.
 func (d *Device) SMBusyUs() float64 { return d.smBusyUs }
 
-// Reset clears all queues, clocks and records; streams are kept.
+// Reset clears all queues, clocks and records and advances the batch
+// counter; streams are kept. The jitter stream reseeds from (Seed, batch)
+// so each batch draws fresh — but run-to-run reproducible — noise; the
+// fault stream deliberately survives Reset (see FaultConfig.Seed).
 func (d *Device) Reset() {
 	d.cpuUs, d.simUs = 0, 0
 	d.freeSMs = d.cfg.NumSMs
@@ -212,7 +276,8 @@ func (d *Device) Reset() {
 	d.batches = nil
 	d.records = nil
 	d.smBusyUs = 0
-	d.rng = tensor.NewRNG(d.cfg.Seed)
+	d.batch++
+	d.rng = tensor.NewRNG(d.cfg.Seed + uint64(d.batch)*0x9E3779B97F4A7C15)
 	for _, s := range d.streams {
 		s.queue = nil
 		s.busy = nil
@@ -237,6 +302,20 @@ func (d *Device) Launch(streamID int, spec KernelSpec) *KernelRecord {
 	jitter := 1.0
 	if d.cfg.Autoboost {
 		jitter = 1 + d.cfg.BoostJitter*(2*d.rng.Float64()-1)
+	}
+	if f := d.cfg.Faults; f.StragglerProb > 0 && d.faultRNG.Float64() < f.StragglerProb {
+		factor := f.StragglerFactor
+		if factor <= 1 {
+			factor = 3
+		}
+		jitter *= factor
+	}
+	if d.Throttled() {
+		factor := d.cfg.Faults.ThrottleFactor
+		if factor <= 1 {
+			factor = 1.3
+		}
+		jitter *= factor
 	}
 	rec := &KernelRecord{
 		Name:       spec.Name,

@@ -249,6 +249,112 @@ func TestAutoboostIntroducesVariance(t *testing.T) {
 	}
 }
 
+func TestJitterVariesAcrossBatchesDeterministically(t *testing.T) {
+	// The same kernel re-measured in a later batch must see different
+	// jitter (multi-sample averaging needs independent noise), yet two
+	// devices with the same seed must agree batch for batch.
+	cfg := testConfig()
+	cfg.Autoboost = true
+	cfg.BoostJitter = 0.1
+	run := func() []float64 {
+		d := NewDevice(cfg)
+		var out []float64
+		for b := 0; b < 3; b++ {
+			d.Reset()
+			r := d.Launch(0, KernelSpec{Name: "k", Tiles: 56, TileTimeUs: 10})
+			d.Synchronize()
+			out = append(out, r.DurationUs())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("batch %d differs across same-seed runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if a[0] == a[1] && a[1] == a[2] {
+		t.Fatalf("jitter identical across batches: %v", a)
+	}
+}
+
+func TestStragglerInjectionDeterministic(t *testing.T) {
+	cfg := testConfig()
+	cfg.Faults = FaultConfig{StragglerProb: 0.2, StragglerFactor: 4, Seed: 7}
+	run := func() (slow int, durations []float64) {
+		d := NewDevice(cfg)
+		d.Reset()
+		for i := 0; i < 50; i++ {
+			d.Launch(0, KernelSpec{Name: "k", Tiles: 56, TileTimeUs: 10})
+		}
+		d.Synchronize()
+		for _, r := range d.Records() {
+			durations = append(durations, r.DurationUs())
+			if r.DurationUs() > 20 { // 4x straggler clearly separated from 1x
+				slow++
+			}
+		}
+		return slow, durations
+	}
+	slowA, dursA := run()
+	slowB, dursB := run()
+	if slowA == 0 || slowA == 50 {
+		t.Fatalf("straggler count %d/50 implausible for p=0.2", slowA)
+	}
+	if slowA != slowB {
+		t.Fatalf("straggler pattern not deterministic: %d vs %d", slowA, slowB)
+	}
+	for i := range dursA {
+		if dursA[i] != dursB[i] {
+			t.Fatalf("kernel %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestThrottleWindow(t *testing.T) {
+	cfg := testConfig()
+	cfg.Faults = FaultConfig{ThrottleStartBatch: 3, ThrottleBatches: 2, ThrottleFactor: 1.5}
+	d := NewDevice(cfg)
+	baseline := 0.0
+	for b := 1; b <= 6; b++ {
+		d.Reset()
+		if want := b; d.Batch() != want {
+			t.Fatalf("Batch = %d, want %d", d.Batch(), want)
+		}
+		r := d.Launch(0, KernelSpec{Name: "k", Tiles: 56, TileTimeUs: 10})
+		d.Synchronize()
+		inWindow := b >= 3 && b < 5
+		if d.Throttled() != inWindow {
+			t.Fatalf("batch %d: Throttled = %v", b, d.Throttled())
+		}
+		if b == 1 {
+			baseline = r.DurationUs()
+		}
+		if inWindow && r.DurationUs() < baseline*1.4 {
+			t.Fatalf("batch %d inside window not throttled: %v vs baseline %v", b, r.DurationUs(), baseline)
+		}
+		if !inWindow && r.DurationUs() != baseline {
+			t.Fatalf("batch %d outside window throttled: %v vs baseline %v", b, r.DurationUs(), baseline)
+		}
+	}
+	// Open-ended window: ThrottleBatches <= 0 throttles to session end.
+	cfg.Faults = FaultConfig{ThrottleStartBatch: 2, ThrottleFactor: 1.5}
+	d2 := NewDevice(cfg)
+	d2.Reset() // batch 1
+	if d2.Throttled() {
+		t.Fatal("throttled before window start")
+	}
+	for b := 2; b <= 10; b++ {
+		d2.Reset()
+		if !d2.Throttled() {
+			t.Fatalf("open-ended window closed at batch %d", b)
+		}
+	}
+	if !cfg.Faults.Enabled() || (FaultConfig{}).Enabled() {
+		t.Fatal("FaultConfig.Enabled wrong")
+	}
+}
+
 func TestResetClearsState(t *testing.T) {
 	d := NewDevice(testConfig())
 	d.Launch(0, KernelSpec{Name: "k", Tiles: 8, TileTimeUs: 2})

@@ -65,6 +65,39 @@ func TestSection32Shape(t *testing.T) {
 	}
 }
 
+func TestAutoboostAblationMultiSampleClosesGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute experiment")
+	}
+	// Acceptance check for the noise-robustness work: on sublstm/16 with
+	// BoostJitter=0.08, single-sample exploration under autoboost picks a
+	// measurably worse configuration than pinned-clock exploration, and
+	// 5-sample averaging recovers to within 2% of the pinned choice.
+	tab, err := AblationAutoboost(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	pinned := cellF(t, tab, 0, 2)
+	noisy := cellF(t, tab, 1, 2)
+	multi := cellF(t, tab, 2, 2)
+	if noisy <= pinned {
+		t.Fatalf("autoboost exploration (%v) not worse than pinned (%v); ablation lost its signal", noisy, pinned)
+	}
+	if multi > pinned*1.02 {
+		t.Fatalf("5-sample exploration wired %v us, more than 2%% above pinned %v us", multi, pinned)
+	}
+	if multi >= noisy {
+		t.Fatalf("5-sample exploration (%v) no better than single-sample (%v)", multi, noisy)
+	}
+	// Multi-sampling pays in exploration length: 5 samples per config.
+	if c1, c5 := cellF(t, tab, 1, 1), cellF(t, tab, 2, 1); c5 < 4*c1 {
+		t.Fatalf("5-sample exploration used %v configs vs %v — sampling policy not applied", c5, c1)
+	}
+}
+
 func TestSpeedupTableShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-minute experiment")

@@ -39,6 +39,9 @@ type TrialEvent struct {
 	Bindings map[string]string `json:"bindings,omitempty"`
 	// Metrics holds the per-variable profiled values fed to the explorer.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Drift marks the wired batch on which the drift watchdog fired and
+	// thawed the explorer back into exploration.
+	Drift bool `json:"drift,omitempty"`
 }
 
 // EventLog writes TrialEvents as JSON Lines. The zero sink is valid: Emit

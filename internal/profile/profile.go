@@ -8,12 +8,20 @@
 // different memory-allocation strategy), the context prefix changes, the
 // lookup misses, and exactly the dependent measurements are re-taken —
 // nothing else.
+//
+// The paper's §4.1 "one measurement suffices" assumption holds only with
+// the GPU clock pinned. To stay robust on a noisy device the index stores
+// multi-sample statistics per key (count, mean, variance via Welford's
+// algorithm) and a SamplePolicy decides when a key counts as measured —
+// the default FixedSamples(1) policy reproduces the paper's single-sample
+// behaviour exactly.
 package profile
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -30,58 +38,208 @@ func K(context, varID, choice string) Key {
 	return Key(context + "#" + varID + "=" + choice)
 }
 
-// Measurement is one profiled data point.
+// Parts splits a key back into its context, variable ID and choice label —
+// the inverse of K. Eviction uses it to find every context a variable was
+// measured under.
+func (k Key) Parts() (context, varID, choice string) {
+	s := string(k)
+	i := strings.Index(s, "#")
+	if i < 0 {
+		return "", "", s
+	}
+	context, s = s[:i], s[i+1:]
+	j := strings.Index(s, "=")
+	if j < 0 {
+		return context, s, ""
+	}
+	return context, s[:j], s[j+1:]
+}
+
+// Measurement is the single-value view of a profiled key: the sample mean
+// and the trial of the first sample. Callers that only need a point
+// estimate (reports, Best) keep using it; Stats carries the full record.
 type Measurement struct {
 	ValueUs float64
-	Trial   int // the exploration trial that produced it
+	Trial   int // the exploration trial that produced the first sample
+}
+
+// Stats is the per-key multi-sample record: Welford running statistics over
+// every sample observed for the key.
+type Stats struct {
+	// Count is the number of samples recorded.
+	Count int
+	// Mean is the running sample mean (µs).
+	Mean float64
+	// M2 is the running sum of squared deviations (Welford); variance
+	// derives from it without catastrophic cancellation.
+	M2 float64
+	// Trial is the exploration trial of the first sample.
+	Trial int
+}
+
+// Variance returns the unbiased sample variance (0 below two samples).
+func (s Stats) Variance() float64 {
+	if s.Count < 2 {
+		return 0
+	}
+	return s.M2 / float64(s.Count-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s Stats) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// CIHalfWidthUs returns the half-width of the ~95% confidence interval of
+// the mean (1.96 standard errors; 0 below two samples).
+func (s Stats) CIHalfWidthUs() float64 {
+	if s.Count < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.Count))
+}
+
+// SamplePolicy decides when a key's statistics suffice to treat the key as
+// measured. Has reports true — and Record stops accepting samples — only
+// once the policy is satisfied, so the explorer keeps a variable recording
+// until enough evidence accumulates.
+type SamplePolicy interface {
+	Satisfied(s Stats) bool
+	String() string
+}
+
+// FixedSamples is satisfied after N samples. FixedSamples(1) is the
+// paper's §4.1 single-measurement regime and the default policy.
+type FixedSamples int
+
+// Satisfied implements SamplePolicy.
+func (n FixedSamples) Satisfied(s Stats) bool {
+	need := int(n)
+	if need < 1 {
+		need = 1
+	}
+	return s.Count >= need
+}
+
+// String names the policy for reports.
+func (n FixedSamples) String() string { return fmt.Sprintf("fixed(%d)", int(n)) }
+
+// CIPolicy is satisfied once the 95% confidence interval of the mean is
+// within RelWidth of the mean — tight keys converge fast, noisy keys keep
+// sampling — bounded below by MinSamples (default 2) and above by
+// MaxSamples (default 8).
+type CIPolicy struct {
+	// RelWidth is the target CI half-width as a fraction of the mean.
+	RelWidth float64
+	// MinSamples and MaxSamples bound the per-key sample count.
+	MinSamples int
+	MaxSamples int
+}
+
+// Satisfied implements SamplePolicy.
+func (p CIPolicy) Satisfied(s Stats) bool {
+	min := p.MinSamples
+	if min < 2 {
+		min = 2
+	}
+	if s.Count < min {
+		return false
+	}
+	max := p.MaxSamples
+	if max <= 0 {
+		max = 8
+	}
+	if s.Count >= max {
+		return true
+	}
+	if s.Mean == 0 {
+		return true
+	}
+	return s.CIHalfWidthUs() <= p.RelWidth*math.Abs(s.Mean)
+}
+
+// String names the policy for reports.
+func (p CIPolicy) String() string {
+	return fmt.Sprintf("ci(rel=%.2f,min=%d,max=%d)", p.RelWidth, p.MinSamples, p.MaxSamples)
 }
 
 // Index stores measurements and serves the custom-wirer's lookups.
 type Index struct {
-	m      map[Key]Measurement
-	hits   int
-	misses int
-	trial  int
+	m       map[Key]*Stats
+	pol     SamplePolicy
+	hits    int
+	misses  int
+	trial   int
+	samples int // samples recorded this session (the explorer's progress signal)
 
 	// Optional telemetry, attached by Instrument.
-	mHits   *obs.Counter
-	mMisses *obs.Counter
-	mSize   *obs.Gauge
+	mHits    *obs.Counter
+	mMisses  *obs.Counter
+	mSize    *obs.Gauge
+	mSamples *obs.Counter
 }
 
 // Instrument attaches a metrics registry: Has updates profile.hits /
-// profile.misses, and Record keeps profile.index_size current.
+// profile.misses, and Record keeps profile.index_size and profile.samples
+// current.
 func (ix *Index) Instrument(reg *obs.Registry) {
 	ix.mHits = reg.Counter("profile.hits", "profile index lookups that hit")
 	ix.mMisses = reg.Counter("profile.misses", "profile index lookups that missed")
 	ix.mSize = reg.Gauge("profile.index_size", "measurements stored in the profile index")
+	ix.mSamples = reg.Counter("profile.samples", "samples recorded into the profile index")
 	ix.mSize.Set(float64(len(ix.m)))
 }
 
-// NewIndex returns an empty profile index.
-func NewIndex() *Index { return &Index{m: make(map[Key]Measurement)} }
+// NewIndex returns an empty profile index with the default single-sample
+// policy.
+func NewIndex() *Index { return &Index{m: make(map[Key]*Stats)} }
+
+// SetPolicy installs the sample policy (nil restores the default
+// FixedSamples(1)). Set it before exploration starts: the policy is part of
+// what "measured" means.
+func (ix *Index) SetPolicy(p SamplePolicy) { ix.pol = p }
+
+// Policy returns the active sample policy.
+func (ix *Index) Policy() SamplePolicy {
+	if ix.pol == nil {
+		return FixedSamples(1)
+	}
+	return ix.pol
+}
 
 // SetTrial tags subsequent recordings with the current exploration trial.
 func (ix *Index) SetTrial(t int) { ix.trial = t }
 
-// Record stores a measurement unless the key is already present: thanks to
-// mini-batch predictability a configuration needs to be measured only once
-// (§4.1), so the first measurement wins.
+// Record folds a sample into the key's statistics. Once the sample policy
+// is satisfied further samples are ignored: under the default
+// FixedSamples(1) policy this is exactly the paper's first-measurement-wins
+// rule (§4.1 — mini-batch predictability makes one measurement suffice).
 func (ix *Index) Record(k Key, us float64) {
-	if _, ok := ix.m[k]; ok {
+	st, ok := ix.m[k]
+	if ok && ix.Policy().Satisfied(*st) {
 		return
 	}
-	ix.m[k] = Measurement{ValueUs: us, Trial: ix.trial}
+	if !ok {
+		st = &Stats{Trial: ix.trial}
+		ix.m[k] = st
+	}
+	st.Count++
+	d := us - st.Mean
+	st.Mean += d / float64(st.Count)
+	st.M2 += d * (us - st.Mean)
+	ix.samples++
+	if ix.mSamples != nil {
+		ix.mSamples.Inc()
+	}
 	if ix.mSize != nil {
 		ix.mSize.Set(float64(len(ix.m)))
 	}
 }
 
-// Has reports whether the key has been measured. It counts toward the
-// hit/miss statistics.
+// Has reports whether the key counts as measured — present and with enough
+// samples to satisfy the policy. It counts toward the hit/miss statistics.
 func (ix *Index) Has(k Key) bool {
-	_, ok := ix.m[k]
-	if ok {
+	st, ok := ix.m[k]
+	measured := ok && ix.Policy().Satisfied(*st)
+	if measured {
 		ix.hits++
 		if ix.mHits != nil {
 			ix.mHits.Inc()
@@ -92,30 +250,96 @@ func (ix *Index) Has(k Key) bool {
 			ix.mMisses.Inc()
 		}
 	}
-	return ok
+	return measured
 }
 
-// Lookup returns the measurement for k.
+// Lookup returns the point-estimate view of k (the sample mean), present or
+// not yet policy-satisfied alike.
 func (ix *Index) Lookup(k Key) (Measurement, bool) {
-	m, ok := ix.m[k]
-	return m, ok
+	st, ok := ix.m[k]
+	if !ok {
+		return Measurement{}, false
+	}
+	return Measurement{ValueUs: st.Mean, Trial: st.Trial}, true
 }
 
-// Best returns the choice with the minimum measured value among the given
-// labels for (context, varID). ok is false if none are measured.
+// LookupStats returns the full multi-sample record for k.
+func (ix *Index) LookupStats(k Key) (Stats, bool) {
+	st, ok := ix.m[k]
+	if !ok {
+		return Stats{}, false
+	}
+	return *st, true
+}
+
+// SampleCount returns the number of samples recorded for k.
+func (ix *Index) SampleCount(k Key) int {
+	if st, ok := ix.m[k]; ok {
+		return st.Count
+	}
+	return 0
+}
+
+// Samples returns the total number of samples recorded this session. Unlike
+// Len it grows while a key is re-sampled, which is what the explorer's
+// progress guard watches.
+func (ix *Index) Samples() int { return ix.samples }
+
+// better reports whether a beats b as the frozen choice. The primary order
+// is the sample mean; when the means are statistically indistinguishable
+// (overlapping ~95% confidence intervals) the lower upper-confidence-bound
+// wins, so a consistently-fast choice beats one lucky sample. With
+// single-sample statistics both intervals are empty and the comparison
+// degenerates to the strict mean order of the seed implementation.
+func better(a, b Stats) bool {
+	if math.Abs(a.Mean-b.Mean) <= a.CIHalfWidthUs()+b.CIHalfWidthUs() {
+		ua, ub := a.Mean+a.CIHalfWidthUs(), b.Mean+b.CIHalfWidthUs()
+		if ua != ub {
+			return ua < ub
+		}
+		return a.Mean < b.Mean
+	}
+	return a.Mean < b.Mean
+}
+
+// Best returns the winning choice among the given labels for (context,
+// varID): lowest mean, with near-ties broken by confidence interval (see
+// better). ok is false if none are measured.
 func (ix *Index) Best(context, varID string, labels []string) (best int, us float64, ok bool) {
-	us = 0
 	best = -1
+	var bs Stats
 	for i, l := range labels {
-		m, found := ix.m[K(context, varID, l)]
+		st, found := ix.m[K(context, varID, l)]
 		if !found {
 			continue
 		}
-		if best < 0 || m.ValueUs < us {
-			best, us = i, m.ValueUs
+		if best < 0 || better(*st, bs) {
+			best, bs = i, *st
 		}
 	}
-	return best, us, best >= 0
+	if best < 0 {
+		return -1, 0, false
+	}
+	return best, bs.Mean, true
+}
+
+// EvictVar removes every measurement of varID across all contexts and
+// returns the number of entries removed. Thawing a variable evicts its
+// entries so the explorer re-measures it; entries of later siblings
+// invalidate on their own through the context mangling once the thawed
+// variable re-freezes to a different choice.
+func (ix *Index) EvictVar(varID string) int {
+	n := 0
+	for k := range ix.m {
+		if _, v, _ := k.Parts(); v == varID {
+			delete(ix.m, k)
+			n++
+		}
+	}
+	if n > 0 && ix.mSize != nil {
+		ix.mSize.Set(float64(len(ix.m)))
+	}
+	return n
 }
 
 // Len returns the number of stored measurements.
@@ -140,42 +364,93 @@ func (ix *Index) Dump() string {
 	sort.Strings(keys)
 	var b strings.Builder
 	for _, k := range keys {
-		fmt.Fprintf(&b, "%s -> %.3fus (trial %d)\n", k, ix.m[Key(k)].ValueUs, ix.m[Key(k)].Trial)
+		st := ix.m[Key(k)]
+		if st.Count > 1 {
+			fmt.Fprintf(&b, "%s -> %.3fus ±%.3f (n=%d, trial %d)\n", k, st.Mean, st.CIHalfWidthUs(), st.Count, st.Trial)
+		} else {
+			fmt.Fprintf(&b, "%s -> %.3fus (trial %d)\n", k, st.Mean, st.Trial)
+		}
 	}
 	return b.String()
 }
 
-// snapshot is the serialized form of the index.
-type snapshot struct {
-	Entries map[string]Measurement `json:"entries"`
+// snapshotVersion is the current serialized format. Version 2 added
+// multi-sample statistics; version-0/1 files (no version field) hold one
+// Measurement per key and load as single-sample statistics.
+const snapshotVersion = 2
+
+// snapshotEntry is the serialized per-key record of the v2 format.
+type snapshotEntry struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	M2    float64 `json:"m2,omitempty"`
+	Trial int     `json:"trial"`
 }
 
-// Save serializes the index as JSON. A saved index warm-starts a later
-// session of the same job: the enumerator is deterministic, so the keys
-// line up and exploration resumes (or completes) instantly — the
+type snapshotFile struct {
+	Version int                      `json:"version"`
+	Entries map[string]snapshotEntry `json:"entries"`
+}
+
+// legacyEntry matches the pre-versioning single-sample snapshot format
+// (Measurement serialized with Go's default field names).
+type legacyEntry struct {
+	ValueUs float64 `json:"ValueUs"`
+	Trial   int     `json:"Trial"`
+}
+
+// Save serializes the index as versioned JSON. A saved index warm-starts a
+// later session of the same job: the enumerator is deterministic, so the
+// keys line up and exploration resumes (or completes) instantly — the
 // profile-index analogue of a compilation cache.
 func (ix *Index) Save(w io.Writer) error {
-	snap := snapshot{Entries: make(map[string]Measurement, len(ix.m))}
-	for k, v := range ix.m {
-		snap.Entries[string(k)] = v
+	snap := snapshotFile{Version: snapshotVersion, Entries: make(map[string]snapshotEntry, len(ix.m))}
+	for k, st := range ix.m {
+		snap.Entries[string(k)] = snapshotEntry{Count: st.Count, Mean: st.Mean, M2: st.M2, Trial: st.Trial}
 	}
 	return json.NewEncoder(w).Encode(&snap)
 }
 
-// Load replaces the index contents from a Save'd snapshot. Query
-// statistics and the trial tag are reset: hits and misses accumulated
+// Load replaces the index contents from a Save'd snapshot, accepting both
+// the current multi-sample format and legacy single-sample saves (which
+// load as one-sample statistics). Query statistics, the session sample
+// counter and the trial tag are reset: hits, misses and samples accumulated
 // before the snapshot was loaded belong to a different session, and keeping
-// them would corrupt warm-start hit-rate reporting.
+// them would corrupt warm-start reporting and the explorer's progress
+// guard.
 func (ix *Index) Load(r io.Reader) error {
-	var snap snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+	var raw struct {
+		Version int                        `json:"version"`
+		Entries map[string]json.RawMessage `json:"entries"`
+	}
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
 		return fmt.Errorf("profile: load: %w", err)
 	}
-	ix.m = make(map[Key]Measurement, len(snap.Entries))
-	for k, v := range snap.Entries {
-		ix.m[Key(k)] = v
+	if raw.Version > snapshotVersion {
+		return fmt.Errorf("profile: load: snapshot version %d newer than supported %d", raw.Version, snapshotVersion)
 	}
-	ix.hits, ix.misses, ix.trial = 0, 0, 0
+	m := make(map[Key]*Stats, len(raw.Entries))
+	for k, msg := range raw.Entries {
+		if raw.Version >= 2 {
+			var e snapshotEntry
+			if err := json.Unmarshal(msg, &e); err != nil {
+				return fmt.Errorf("profile: load: entry %q: %w", k, err)
+			}
+			count := e.Count
+			if count < 1 {
+				count = 1
+			}
+			m[Key(k)] = &Stats{Count: count, Mean: e.Mean, M2: e.M2, Trial: e.Trial}
+		} else {
+			var e legacyEntry
+			if err := json.Unmarshal(msg, &e); err != nil {
+				return fmt.Errorf("profile: load: legacy entry %q: %w", k, err)
+			}
+			m[Key(k)] = &Stats{Count: 1, Mean: e.ValueUs, Trial: e.Trial}
+		}
+	}
+	ix.m = m
+	ix.hits, ix.misses, ix.trial, ix.samples = 0, 0, 0, 0
 	if ix.mSize != nil {
 		ix.mSize.Set(float64(len(ix.m)))
 	}

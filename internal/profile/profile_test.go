@@ -2,6 +2,7 @@ package profile
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -162,6 +163,208 @@ func TestHitRateResetAfterLoad(t *testing.T) {
 	}
 }
 
+func TestKeyParts(t *testing.T) {
+	ctx, v, c := K("/alloc=a0/se:1a2b", "gemm3", "cublas").Parts()
+	if ctx != "/alloc=a0/se:1a2b" || v != "gemm3" || c != "cublas" {
+		t.Fatalf("Parts = %q %q %q", ctx, v, c)
+	}
+	ctx, v, c = K("", "v", "x").Parts()
+	if ctx != "" || v != "v" || c != "x" {
+		t.Fatalf("Parts = %q %q %q", ctx, v, c)
+	}
+}
+
+func TestMultiSampleStats(t *testing.T) {
+	ix := NewIndex()
+	ix.SetPolicy(FixedSamples(3))
+	k := K("", "v", "a")
+	for i, us := range []float64{10, 12, 14} {
+		if ix.Has(k) {
+			t.Fatalf("key measured after %d of 3 samples", i)
+		}
+		ix.Record(k, us)
+	}
+	if !ix.Has(k) {
+		t.Fatal("key not measured after 3 samples")
+	}
+	st, ok := ix.LookupStats(k)
+	if !ok || st.Count != 3 || st.Mean != 12 {
+		t.Fatalf("Stats = %+v %v", st, ok)
+	}
+	if v := st.Variance(); math.Abs(v-4) > 1e-9 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if st.CIHalfWidthUs() <= 0 {
+		t.Fatal("no confidence interval with 3 samples")
+	}
+	// Policy satisfied: further samples are ignored (first-N wins).
+	ix.Record(k, 1000)
+	if st, _ := ix.LookupStats(k); st.Count != 3 || st.Mean != 12 {
+		t.Fatalf("post-satisfaction sample accepted: %+v", st)
+	}
+	if ix.Samples() != 3 {
+		t.Fatalf("Samples = %d", ix.Samples())
+	}
+	if ix.SampleCount(k) != 3 || ix.SampleCount(K("", "v", "b")) != 0 {
+		t.Fatal("SampleCount wrong")
+	}
+}
+
+func TestCIPolicy(t *testing.T) {
+	p := CIPolicy{RelWidth: 0.05, MinSamples: 2, MaxSamples: 6}
+	// Identical samples: CI collapses to zero at MinSamples.
+	if p.Satisfied(Stats{Count: 1, Mean: 10}) {
+		t.Fatal("satisfied below MinSamples")
+	}
+	tight := Stats{Count: 2, Mean: 10, M2: 0}
+	if !p.Satisfied(tight) {
+		t.Fatal("zero-variance stats not satisfied at MinSamples")
+	}
+	// Wildly noisy samples: unsatisfied until MaxSamples caps it.
+	noisy := Stats{Count: 3, Mean: 10, M2: 200}
+	if p.Satisfied(noisy) {
+		t.Fatal("noisy stats satisfied too early")
+	}
+	noisy.Count = 6
+	if !p.Satisfied(noisy) {
+		t.Fatal("MaxSamples cap not applied")
+	}
+	if FixedSamples(2).String() == "" || p.String() == "" {
+		t.Fatal("policies must name themselves")
+	}
+}
+
+func TestBestBreaksNearTiesByCI(t *testing.T) {
+	// Choice a: lucky single-look mean 9.9 but huge spread. Choice b:
+	// consistent 10.0 ± tiny. The CIs overlap, so the lower upper-bound
+	// (b) must win despite a's lower mean.
+	ix := NewIndex()
+	ix.SetPolicy(FixedSamples(3))
+	for _, us := range []float64{4, 9.8, 15.9} { // mean 9.9, wide CI
+		ix.Record(K("", "v", "a"), us)
+	}
+	for _, us := range []float64{9.9, 10.0, 10.1} { // mean 10, narrow CI
+		ix.Record(K("", "v", "b"), us)
+	}
+	best, _, ok := ix.Best("", "v", []string{"a", "b"})
+	if !ok || best != 1 {
+		t.Fatalf("Best = %d (ok=%v), want 1 (consistent choice)", best, ok)
+	}
+	// Clearly separated means: plain mean order regardless of spread.
+	for _, us := range []float64{1, 2, 3} {
+		ix.Record(K("", "v2", "fast"), us)
+	}
+	for _, us := range []float64{50, 51, 52} {
+		ix.Record(K("", "v2", "slow"), us)
+	}
+	if best, _, _ := ix.Best("", "v2", []string{"slow", "fast"}); best != 1 {
+		t.Fatalf("separated means: Best = %d", best)
+	}
+}
+
+func TestVersionedSnapshotRoundTrip(t *testing.T) {
+	ix := NewIndex()
+	ix.SetPolicy(FixedSamples(3))
+	ix.SetTrial(5)
+	k := K("ctx", "v", "a")
+	for _, us := range []float64{10, 12, 14} {
+		ix.Record(k, us)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version":2`) {
+		t.Fatalf("snapshot not versioned: %s", buf.String())
+	}
+	ix2 := NewIndex()
+	ix2.SetPolicy(FixedSamples(3))
+	if err := ix2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := ix2.LookupStats(k)
+	if !ok || st.Count != 3 || st.Mean != 12 || st.Trial != 5 {
+		t.Fatalf("loaded stats = %+v %v", st, ok)
+	}
+	if math.Abs(st.Variance()-4) > 1e-9 {
+		t.Fatalf("variance lost in round trip: %v", st.Variance())
+	}
+	if !ix2.Has(k) {
+		t.Fatal("loaded multi-sample entry not measured")
+	}
+}
+
+func TestLegacySingleSampleSnapshotLoads(t *testing.T) {
+	// A pre-versioning snapshot (no version field, Measurement-shaped
+	// entries) must load as single-sample statistics.
+	legacy := `{"entries":{"ctx#v=a":{"ValueUs":12.5,"Trial":7},"#w=b":{"ValueUs":3,"Trial":0}}}`
+	ix := NewIndex()
+	if err := ix.Load(strings.NewReader(legacy)); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	st, ok := ix.LookupStats(K("ctx", "v", "a"))
+	if !ok || st.Count != 1 || st.Mean != 12.5 || st.Trial != 7 {
+		t.Fatalf("legacy stats = %+v %v", st, ok)
+	}
+	if !ix.Has(K("ctx", "v", "a")) {
+		t.Fatal("legacy entry not measured under default policy")
+	}
+	// A future version must be rejected, not silently misread.
+	if err := ix.Load(strings.NewReader(`{"version":99,"entries":{}}`)); err == nil {
+		t.Fatal("accepted snapshot from the future")
+	}
+}
+
+func TestLoadResetsSampleStatistics(t *testing.T) {
+	ix := NewIndex()
+	ix.SetPolicy(FixedSamples(2))
+	ix.Record(K("", "v", "a"), 1)
+	ix.Record(K("", "v", "a"), 2)
+	if ix.Samples() != 2 {
+		t.Fatalf("Samples = %d", ix.Samples())
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The session sample counter resets with hits/misses; the per-key
+	// statistics come back from the snapshot.
+	if ix.Samples() != 0 {
+		t.Fatalf("Samples = %d after Load, want 0", ix.Samples())
+	}
+	if st, _ := ix.LookupStats(K("", "v", "a")); st.Count != 2 {
+		t.Fatalf("per-key stats lost: %+v", st)
+	}
+}
+
+func TestEvictVar(t *testing.T) {
+	ix := NewIndex()
+	ix.Record(K("/alloc=a0", "gemm3", "cublas"), 5)
+	ix.Record(K("/alloc=a1", "gemm3", "oai1"), 6)
+	ix.Record(K("/alloc=a0", "gemm4", "cublas"), 7)
+	if n := ix.EvictVar("gemm3"); n != 2 {
+		t.Fatalf("evicted %d, want 2 (all contexts)", n)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if ix.Has(K("/alloc=a0", "gemm3", "cublas")) {
+		t.Fatal("evicted entry still measured")
+	}
+	if !ix.Has(K("/alloc=a0", "gemm4", "cublas")) {
+		t.Fatal("unrelated entry evicted")
+	}
+	if n := ix.EvictVar("nothing"); n != 0 {
+		t.Fatalf("evicted %d for unknown var", n)
+	}
+}
+
 func TestInstrumentedIndex(t *testing.T) {
 	reg := obs.NewRegistry()
 	ix := NewIndex()
@@ -177,5 +380,8 @@ func TestInstrumentedIndex(t *testing.T) {
 	}
 	if got := reg.Gauge("profile.index_size", "").Value(); got != 1 {
 		t.Fatalf("profile.index_size = %v", got)
+	}
+	if got := reg.Counter("profile.samples", "").Value(); got != 1 {
+		t.Fatalf("profile.samples = %v", got)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"astra/internal/enumerate"
+	"astra/internal/gpusim"
+	"astra/internal/models"
 	"astra/internal/obs"
 )
 
@@ -17,6 +19,44 @@ func instrumentedSession(t *testing.T, name string) (*Session, *obs.Telemetry, *
 	tel.SetEventSink(&events)
 	s.Instrument(tel)
 	return s, tel, &events
+}
+
+func TestSameSeedSessionsByteIdenticalTimelines(t *testing.T) {
+	// Regression: superEpochBarrier used to iterate the used-stream map in
+	// Go's randomized order while every RecordEvent/WaitEvent advances the
+	// simulated CPU clock, so two identical runs could produce different
+	// event timelines. Two same-seed sessions must now emit byte-identical
+	// event logs — autoboost jitter, multi-stream barriers and all.
+	run := func() []byte {
+		build, ok := models.Get("sublstm")
+		if !ok {
+			t.Fatal("model sublstm")
+		}
+		m := build(models.TinyConfig("sublstm", 2))
+		dev := gpusim.P100()
+		dev.Autoboost = true
+		s := NewSession(m, SessionConfig{
+			Device:  dev,
+			Options: enumerate.PresetOptions(enumerate.PresetAll),
+			Runner:  RunnerConfig{PerOpCPUUs: 2},
+		})
+		tel := obs.NewTelemetry()
+		var events bytes.Buffer
+		tel.SetEventSink(&events)
+		s.Instrument(tel)
+		s.Explore()
+		for i := 0; i < 3; i++ {
+			s.Step()
+		}
+		return events.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no events emitted")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed sessions produced different event timelines")
+	}
 }
 
 func TestEventLogMatchesExplorerTrials(t *testing.T) {

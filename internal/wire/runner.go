@@ -11,6 +11,7 @@ package wire
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 
 	"astra/internal/enumerate"
@@ -310,12 +311,23 @@ func (r *Runner) superEpochBarrier(st *dispatchState) {
 	if !r.multiStream() {
 		return
 	}
-	var evs []*gpusim.Event
+	// Iterate streams in sorted order: RecordEvent/WaitEvent each advance
+	// the simulated CPU clock, so Go's randomized map order would make
+	// event timestamps differ between identical runs.
+	streams := make([]int, 0, len(st.usedStreams))
 	for s := range st.usedStreams {
-		evs = append(evs, r.recordEvent(st, s))
+		streams = append(streams, s)
 	}
-	for s := range st.usedStreams {
-		for _, ev := range evs {
+	sort.Ints(streams)
+	evs := make([]*gpusim.Event, len(streams))
+	for i, s := range streams {
+		evs[i] = r.recordEvent(st, s)
+	}
+	for i, s := range streams {
+		for j, ev := range evs {
+			if j == i {
+				continue // a stream need not wait on its own event
+			}
 			r.Dev.WaitEvent(s, ev)
 			st.events++
 		}

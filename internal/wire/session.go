@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"math"
 
 	"astra/internal/adapt"
 	"astra/internal/autodiff"
@@ -59,6 +60,89 @@ type Session struct {
 	// traces for paper-scale sessions).
 	TraceDetailBatches int
 	wiredBatches       int
+
+	// Drift configures the wired-phase watchdog; the zero value disables it.
+	Drift DriftConfig
+	// DriftEvents counts watchdog firings (thaw + re-explore) this session.
+	DriftEvents   int
+	driftExpectUs float64 // frozen expectation: first wired batch after (re-)wiring
+	driftEWMA     float64
+	driftBreach   int
+}
+
+// DriftConfig tunes the wired-phase drift watchdog (§4.6: hardware drift —
+// thermal throttling, clock autoboost decay — invalidates frozen choices).
+// The watchdog tracks an EWMA of wired batch times against the expectation
+// frozen at wiring time; sustained relative deviation thaws the explorer so
+// exploration resumes in-session, work-conserving as ever.
+type DriftConfig struct {
+	// Enabled turns the watchdog on.
+	Enabled bool
+	// Alpha is the EWMA smoothing factor (0 < Alpha <= 1); default 0.25.
+	Alpha float64
+	// Tolerance is the relative deviation of the EWMA from the wired
+	// expectation that counts as a breach; default 0.08.
+	Tolerance float64
+	// Patience is how many consecutive breaching batches fire the
+	// watchdog; default 3.
+	Patience int
+}
+
+func (c DriftConfig) alpha() float64 {
+	if c.Alpha > 0 && c.Alpha <= 1 {
+		return c.Alpha
+	}
+	return 0.25
+}
+
+func (c DriftConfig) tolerance() float64 {
+	if c.Tolerance > 0 {
+		return c.Tolerance
+	}
+	return 0.08
+}
+
+func (c DriftConfig) patience() int {
+	if c.Patience > 0 {
+		return c.Patience
+	}
+	return 3
+}
+
+// observeWired feeds one wired batch time to the watchdog and reports
+// whether it fired (thawing the explorer back into exploration).
+func (s *Session) observeWired(batchUs float64) bool {
+	if !s.Drift.Enabled || s.Exp == nil {
+		return false
+	}
+	if s.driftExpectUs == 0 {
+		s.driftExpectUs = batchUs
+		s.driftEWMA = batchUs
+		s.driftBreach = 0
+		return false
+	}
+	a := s.Drift.alpha()
+	s.driftEWMA = a*batchUs + (1-a)*s.driftEWMA
+	dev := math.Abs(s.driftEWMA-s.driftExpectUs) / s.driftExpectUs
+	if dev <= s.Drift.tolerance() {
+		s.driftBreach = 0
+		return false
+	}
+	s.driftBreach++
+	if s.driftBreach < s.Drift.patience() {
+		return false
+	}
+	// Sustained drift: the frozen configuration's measurements no longer
+	// describe the hardware. Evict and re-explore.
+	s.DriftEvents++
+	s.driftExpectUs = 0
+	s.driftEWMA = 0
+	s.driftBreach = 0
+	s.Exp.Thaw()
+	if s.Obs != nil {
+		s.Obs.Metrics.Counter("session.drift_events", "").Inc()
+	}
+	return true
 }
 
 // DefaultTraceDetailBatches keeps a full exploration session's trace
@@ -143,6 +227,7 @@ func (s *Session) Instrument(tel *obs.Telemetry) {
 	tel.Metrics.Counter("wirer.kernels", "kernels launched")
 	tel.Metrics.Counter("wirer.events", "cudaEvents recorded or waited on")
 	tel.Metrics.Gauge("profile.hit_rate", "profile index hit rate")
+	tel.Metrics.Counter("session.drift_events", "wired-phase drift watchdog firings")
 }
 
 // CloseTelemetry emits the session-level root span; call once after the
@@ -180,7 +265,7 @@ func (s *Session) explorerBindings() map[string]string {
 // recordBatchTelemetry emits the batch's span, counter samples, registry
 // updates and event-log record. startUs is the session clock at batch
 // start; bindings were captured before the explorer advanced.
-func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]string, exploring, detail bool) {
+func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]string, exploring, detail, drift bool) {
 	tel := s.Obs
 	startUs := s.ClockUs
 	endUs := startUs + res.TotalUs
@@ -237,6 +322,7 @@ func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]str
 		TotalVars:      total,
 		Bindings:       bindings,
 		Metrics:        res.Metrics,
+		Drift:          drift,
 	})
 }
 
@@ -263,6 +349,7 @@ func (s *Session) Step() BatchResult {
 		res = s.Runner.RunBatch(nil, nil)
 	}
 	var bindings map[string]string
+	drift := false
 	if exploring {
 		if s.Obs != nil {
 			// Capture the tried configuration before Advance moves on.
@@ -272,14 +359,17 @@ func (s *Session) Step() BatchResult {
 		s.Exp.Advance()
 		s.Trials++
 		s.ExploreUs += res.TotalUs
+		// Any wired expectation is stale once exploration runs again.
+		s.driftExpectUs = 0
 	}
 	s.Batches++
 	if !exploring {
 		s.wiredBatches++
+		drift = s.observeWired(res.TotalUs)
 	}
 	s.ProfOverheadUs += res.ProfilingOverheadUs()
 	if s.Obs != nil {
-		s.recordBatchTelemetry(&res, bindings, exploring, detail)
+		s.recordBatchTelemetry(&res, bindings, exploring, detail, drift)
 	}
 	s.ClockUs += res.TotalUs
 	return res
@@ -300,6 +390,16 @@ func (s *Session) Explore() int {
 
 // Done reports whether exploration has converged.
 func (s *Session) Done() bool { return s.Exp == nil || s.Exp.Done() }
+
+// Err reports a failed exploration (stuck explorer). A non-nil error means
+// the session's configuration search cannot make progress; Done() is true
+// so training loops terminate, but the wired schedule is not trustworthy.
+func (s *Session) Err() error {
+	if s.Exp == nil {
+		return nil
+	}
+	return s.Exp.Err()
+}
 
 // WiredTimeUs runs one post-exploration batch and returns its time.
 func (s *Session) WiredTimeUs() float64 { return s.Step().TotalUs }

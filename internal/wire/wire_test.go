@@ -105,6 +105,79 @@ func TestWiredDeterministic(t *testing.T) {
 	}
 }
 
+func TestDriftWatchdogThawsAndRewiresInSession(t *testing.T) {
+	// End-to-end §4.6 drift story: explore → wire → clock throttles
+	// mid-wired-phase → watchdog detects sustained deviation → explorer
+	// thaws, stale measurements are evicted, exploration re-runs and a new
+	// configuration is wired — all inside one session, no restart.
+	build, _ := models.Get("sublstm")
+	// Short sequence keeps exploration fast; a wide hidden dim keeps the
+	// batch GPU-bound, so a clock throttle actually moves the batch time
+	// (a dispatch-bound tiny model hides kernel slowdowns entirely).
+	cfg := models.Config{Batch: 16, SeqLen: 4, Hidden: 2048, Embed: 256, Vocab: 100, Embedding: true, Backward: true}
+	mkSession := func(faults gpusim.FaultConfig) *Session {
+		dev := gpusim.P100()
+		dev.Faults = faults
+		return NewSession(build(cfg), SessionConfig{
+			Device:  dev,
+			Options: enumerate.PresetOptions(enumerate.PresetFKS),
+			Runner:  RunnerConfig{PerOpCPUUs: 2},
+		})
+	}
+
+	// Dry run to learn how many batches exploration takes for this model,
+	// so the throttle window can be placed a few batches into wired phase.
+	dry := mkSession(gpusim.FaultConfig{})
+	dry.Explore()
+
+	s := mkSession(gpusim.FaultConfig{
+		ThrottleStartBatch: dry.Batches + 5,
+		ThrottleFactor:     1.5, // open-ended window: throttled to session end
+	})
+	s.Drift = DriftConfig{Enabled: true}
+
+	firstTrials := s.Explore()
+	if firstTrials != dry.Trials {
+		t.Fatalf("fault-config session explored %d trials, dry run %d", firstTrials, dry.Trials)
+	}
+	preDrift := s.Step().TotalUs
+	for i := 0; i < 100 && s.DriftEvents == 0; i++ {
+		s.Step()
+	}
+	if s.DriftEvents != 1 {
+		t.Fatalf("drift watchdog did not fire (events = %d)", s.DriftEvents)
+	}
+	if s.Done() {
+		t.Fatal("explorer not thawed after drift event")
+	}
+	if s.Exp.Reexplorations() != 1 {
+		t.Fatalf("reexplorations = %d, want 1", s.Exp.Reexplorations())
+	}
+	// Re-exploration must converge again under the throttled clock…
+	extra := s.Explore()
+	if s.Err() != nil {
+		t.Fatalf("re-exploration failed: %v", s.Err())
+	}
+	if extra <= firstTrials {
+		t.Fatalf("total trials %d did not grow past first exploration %d", extra, firstTrials)
+	}
+	// …and the re-wired schedule runs stably: the watchdog re-arms on the
+	// new expectation, so the (still throttled) steady state is not drift.
+	post := s.Step().TotalUs
+	if post <= preDrift {
+		t.Fatalf("throttled wired batch %v not slower than pre-drift %v", post, preDrift)
+	}
+	for i := 0; i < 20; i++ {
+		s.Step()
+	}
+	if s.DriftEvents != 1 {
+		t.Fatalf("watchdog re-fired on stable throttled clock (events = %d)", s.DriftEvents)
+	}
+	if !s.Done() {
+		t.Fatal("session did not re-converge")
+	}
+}
+
 func TestMetricsCoverRecordingVars(t *testing.T) {
 	s := tinySession(t, "stackedlstm", enumerate.PresetAll, false)
 	for i := 0; i < 5 && !s.Done(); i++ {
