@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint race bench experiments experiments-quick cover clean
+.PHONY: all build test test-short vet lint race bench experiments experiments-quick cover cover-check clean
 
 all: build lint test race
 
@@ -32,6 +32,18 @@ race:
 
 cover:
 	$(GO) test -short -cover ./...
+
+# Coverage gate: total -short statement coverage must stay at or above the
+# checked-in baseline (.github/coverage-baseline.txt). Raise the baseline
+# when a PR durably improves coverage; never lower it to make CI pass.
+COVER_OUT ?= coverage.out
+cover-check:
+	$(GO) test -short -coverprofile=$(COVER_OUT) ./...
+	@total=$$($(GO) tool cover -func=$(COVER_OUT) | awk '/^total:/ {sub("%","",$$3); print $$3}'); \
+	base=$$(cat .github/coverage-baseline.txt); \
+	echo "total coverage: $$total% (baseline $$base%)"; \
+	ok=$$(awk -v t="$$total" -v b="$$base" 'BEGIN { print (t+0 >= b+0) ? "yes" : "no" }'); \
+	if [ "$$ok" != "yes" ]; then echo "FAIL: coverage $$total% dropped below baseline $$base%"; exit 1; fi
 
 # Reduced per-table benchmarks (batch 16/32), with allocation stats.
 bench:

@@ -23,6 +23,7 @@ import (
 	"io"
 
 	"astra/internal/baselines"
+	"astra/internal/distsim"
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
 	"astra/internal/models"
@@ -163,6 +164,14 @@ type Options struct {
 	// device (straggler kernels, clock-throttle windows) for testing the
 	// noise-robustness machinery.
 	Faults gpusim.FaultConfig
+	// Workers >= 2 compiles a data-parallel session: that many simulated
+	// devices step identical replicas of the model, exchanging gradients
+	// with an event-level ring all-reduce whose bucket size and stream
+	// placement are explored online like every other schedule choice.
+	Workers int
+	// Fabric names the gradient-exchange interconnect for multi-worker
+	// sessions: "pcie3" (default) or "nvlink1".
+	Fabric string
 	// ProfileSnapshot warm-starts the session from a profile index saved
 	// by Session.SaveProfile in an earlier run of the same job.
 	ProfileSnapshot io.Reader
@@ -176,6 +185,8 @@ type Session struct {
 }
 
 // Compile runs the enumerator over the model and prepares the runtime.
+// A multi-worker configuration (Options.Workers >= 2) with an unknown
+// fabric name panics; use distsim's fabric names ("pcie3", "nvlink1").
 func Compile(m *Model, opts Options) *Session {
 	dev := gpusim.P100()
 	dev.Autoboost = opts.Autoboost
@@ -187,6 +198,25 @@ func Compile(m *Model, opts Options) *Session {
 	eopts := enumerate.PresetOptions(opts.Level.preset())
 	if opts.Streams > 0 {
 		eopts.NumStreams = opts.Streams
+	}
+	var comm wire.CommConfig
+	if opts.Workers >= 2 {
+		fabric := opts.Fabric
+		if fabric == "" {
+			fabric = "pcie3"
+		}
+		ic, ok := distsim.FabricByName(fabric)
+		if !ok {
+			panic(fmt.Sprintf("astra: unknown fabric %q", fabric))
+		}
+		comm = wire.CommConfig{
+			Workers:    opts.Workers,
+			BytesPerUs: ic.BytesPerUs,
+			LatencyUs:  ic.LatencyUs,
+			Fabric:     ic.Name,
+		}
+		eopts.CommAdapt = true
+		eopts.Workers = opts.Workers
 	}
 	ix := profile.NewIndex()
 	if opts.Samples > 1 {
@@ -202,6 +232,7 @@ func Compile(m *Model, opts Options) *Session {
 		Runner:       wire.RunnerConfig{PerOpCPUUs: 2},
 		EvalValues:   opts.EvalValues,
 		LearningRate: opts.LearningRate,
+		Comm:         comm,
 		Index:        ix,
 	}
 	s := wire.NewSession(m.m, cfg)
@@ -226,6 +257,10 @@ type ExploreStats struct {
 	// ProfilingOverhead is the fraction of batch time spent on profiling
 	// events (always-on; §6.4 claims <0.5%).
 	ProfilingOverhead float64
+	// Workers is the data-parallel degree (1 for single-GPU sessions) and
+	// CommUs the wired batch's measured gradient-exchange link-busy time.
+	Workers int
+	CommUs  float64
 }
 
 // Explore runs exploration mini-batches until every adaptive variable is
@@ -239,6 +274,8 @@ func (s *Session) Explore() ExploreStats {
 		WiredBatchUs:    res.TotalUs,
 		NativeBatchUs:   nat.TimeUs,
 		AllocStrategies: len(s.s.Plan.Allocs),
+		Workers:         len(s.s.Peers) + 1,
+		CommUs:          res.CommUs,
 	}
 	if res.TotalUs > 0 {
 		stats.Speedup = nat.TimeUs / res.TotalUs

@@ -302,3 +302,37 @@ func TestStreamsOptionPlumbs(t *testing.T) {
 		t.Fatalf("streams = %d", got)
 	}
 }
+
+func TestCompileMultiWorker(t *testing.T) {
+	m, err := BuildModel("sublstm", ModelConfig{Batch: 2, Tiny: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := Compile(m, Options{Level: LevelFK, Workers: 4, Fabric: "nvlink1"})
+	stats := sess.Explore()
+	if err := sess.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 4 {
+		t.Fatalf("Workers = %d", stats.Workers)
+	}
+	if stats.CommUs <= 0 {
+		t.Fatalf("no gradient exchange measured: %+v", stats)
+	}
+	// The update tree must show the comm dimension.
+	for _, want := range []string{"comm.bucket_kb", "comm.place"} {
+		if !strings.Contains(sess.UpdateTree(), want) {
+			t.Fatalf("update tree missing %s:\n%s", want, sess.UpdateTree())
+		}
+	}
+	// Default fabric resolves; an unknown one panics.
+	if s2 := Compile(m, Options{Level: LevelFK, Workers: 2}); s2 == nil {
+		t.Fatal("default fabric failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown fabric did not panic")
+		}
+	}()
+	Compile(m, Options{Workers: 2, Fabric: "token-ring"})
+}

@@ -7,6 +7,7 @@
 //	astra-run -model stackedlstm -dispatcher cudnn
 //	astra-run -model scrnn -dispatcher native
 //	astra-run -model sublstm -trace-out session.json -events-out trials.jsonl -metrics
+//	astra-run -model scrnn -workers 4 -fabric nvlink1
 //
 // With -trace-out the whole session (every exploration trial plus the
 // wired batches) exports as one multi-track Chrome/Perfetto trace: device
@@ -23,6 +24,7 @@ import (
 
 	"astra"
 	"astra/internal/baselines"
+	"astra/internal/distsim"
 	"astra/internal/gpusim"
 )
 
@@ -40,6 +42,8 @@ func main() {
 	jitter := flag.Float64("jitter", 0, "autoboost clock-jitter amplitude (e.g. 0.08); >0 leaves autoboost on")
 	samples := flag.Int("samples", 1, "measurements per configuration before a choice can freeze")
 	driftAt := flag.Int("drift-at", 0, "inject a sustained clock throttle from this batch on and enable the drift watchdog")
+	workers := flag.Int("workers", 1, "data-parallel workers; >=2 simulates a multi-GPU session with explored gradient bucketing (astra dispatcher only)")
+	fabric := flag.String("fabric", "pcie3", "gradient-exchange interconnect for -workers >= 2: pcie3 or nvlink1")
 	flag.Parse()
 
 	m, err := astra.BuildModel(*model, astra.ModelConfig{Batch: *batch})
@@ -54,6 +58,16 @@ func main() {
 			Level:   astra.Level(*level),
 			Jitter:  *jitter,
 			Samples: *samples,
+			Workers: *workers,
+			Fabric:  *fabric,
+		}
+		if *workers >= 2 {
+			if _, ok := distsim.FabricByName(*fabric); !ok {
+				fmt.Fprintf(os.Stderr, "astra-run: unknown fabric %q (have pcie3, nvlink1)\n", *fabric)
+				os.Exit(1)
+			}
+			fmt.Printf("data-parallel: %d workers over %s, per-device batch %d\n",
+				*workers, *fabric, *batch)
 		}
 		if *driftAt > 0 {
 			opts.Watchdog = true
@@ -116,6 +130,10 @@ func runAstra(m *astra.Model, opts astra.Options, batches int, report bool, trac
 		stats.Configs, stats.AllocStrategies)
 	fmt.Printf("wired mini-batch: %.0f us (native PyTorch: %.0f us) -> speedup %.2fx\n",
 		stats.WiredBatchUs, stats.NativeBatchUs, stats.Speedup)
+	if stats.Workers > 1 {
+		fmt.Printf("cluster step (%d workers): %.0f us, gradient exchange %.0f us link-busy\n",
+			stats.Workers, stats.WiredBatchUs, stats.CommUs)
+	}
 	fmt.Printf("always-on profiling overhead: %.3f%%\n", stats.ProfilingOverhead*100)
 	for i := 0; i < batches; i++ {
 		fmt.Printf("  step %d: %.0f us\n", i+1, sess.Step())

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestMainRuns executes the example end-to-end in-process, so a drifting
+// public API or a panicking exploration breaks the build, not the README.
+func TestMainRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end example run")
+	}
+	main()
+}

@@ -5,18 +5,22 @@
 // runtime measurement and adaptation", §6.7).
 //
 // The model is synchronous data parallelism: each of N workers runs the
-// per-device mini-batch (batch/N rows) on its own simulated GPU, then the
+// per-device mini-batch (batch/N rows) on its own simulated GPU, and the
 // gradients are combined with a ring all-reduce over the interconnect.
-// Scaling a recurrent model is a genuine trade-off: smaller per-device
-// batches make the (already latency-bound) GEMMs even less efficient,
-// while the all-reduce adds a communication term that grows with the
-// parameter count — so the best worker count depends on the model, the
-// batch size and the link bandwidth, and is exactly the kind of choice a
-// static cost model gets wrong.
+// The exchange is simulated at the event level by the custom-wirer
+// (wire.CommConfig): gradients pack into buckets in dispatch order, each
+// bucket's 2·(n−1) ring steps are communication kernels on a per-worker
+// comm stream gated by the readiness event of the bucket's last gradient,
+// and the cluster step is the slowest worker. Bucket size and comm-stream
+// placement are adaptive variables the explorer tunes online per
+// mini-batch, like any other schedule choice; the closed-form
+// RingAllReduceUs formula survives only as a cross-check baseline for the
+// serialized single-bucket regime.
 package distsim
 
 import (
 	"fmt"
+	"strconv"
 
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
@@ -40,9 +44,25 @@ func PCIe() Interconnect { return Interconnect{Name: "pcie3", BytesPerUs: 11000,
 // NVLink returns a first-generation NVLink fabric.
 func NVLink() Interconnect { return Interconnect{Name: "nvlink1", BytesPerUs: 38000, LatencyUs: 3} }
 
+// Fabrics returns the built-in interconnects, the sweep set of the
+// multi-GPU experiments.
+func Fabrics() []Interconnect { return []Interconnect{PCIe(), NVLink()} }
+
+// FabricByName resolves an interconnect by its Name field.
+func FabricByName(name string) (Interconnect, bool) {
+	for _, ic := range Fabrics() {
+		if ic.Name == name {
+			return ic, true
+		}
+	}
+	return Interconnect{}, false
+}
+
 // RingAllReduceUs returns the time to all-reduce `bytes` of gradients over
 // n workers with the classic two-phase ring: 2·(n−1) steps, each moving
-// bytes/n per link.
+// bytes/n per link. This is the analytic cross-check baseline: the
+// event-level simulation of a single bucket serialized on the main stream
+// must converge to it (modulo per-kernel setup cost).
 func (ic Interconnect) RingAllReduceUs(bytes int64, n int) float64 {
 	if n <= 1 {
 		return 0
@@ -52,13 +72,68 @@ func (ic Interconnect) RingAllReduceUs(bytes int64, n int) float64 {
 	return float64(steps) * (perStep + ic.LatencyUs)
 }
 
+// Schedule is one fixed communication schedule: a bucket-cap label from
+// enumerate.CommBucketLabels ("256", "1024", ..., "all") and a placement
+// from enumerate.CommPlacementLabels ("comm" or "main").
+type Schedule struct {
+	Bucket    string
+	Placement string
+}
+
+// BulkSync is the bulk-synchronous baseline: every gradient in one bucket,
+// exchanged on the main stream strictly after compute.
+func BulkSync() Schedule { return Schedule{Bucket: "all", Placement: "main"} }
+
+// Schedules enumerates every fixed communication schedule for a gradient
+// payload — exactly the space the online explorer searches, so exhaustive
+// sweeps and explored runs are comparable.
+func Schedules(gradBytes int64) []Schedule {
+	var out []Schedule
+	for _, b := range enumerate.CommBucketLabels(gradBytes) {
+		for _, p := range enumerate.CommPlacementLabels {
+			out = append(out, Schedule{Bucket: b, Placement: p})
+		}
+	}
+	return out
+}
+
+// bucketKB converts a bucket label to the CommConfig cap (0 = single
+// bucket).
+func bucketKB(label string) (int, error) {
+	if label == "" || label == "all" {
+		return 0, nil
+	}
+	kb, err := strconv.Atoi(label)
+	if err != nil || kb <= 0 {
+		return 0, fmt.Errorf("distsim: bad bucket label %q", label)
+	}
+	return kb, nil
+}
+
 // Result reports one data-parallel configuration.
 type Result struct {
-	Workers        int
-	PerDeviceUs    float64 // compute time of one worker's mini-batch share
-	AllReduceUs    float64 // gradient exchange time
-	StepUs         float64 // compute + exchange (bulk-synchronous)
-	ThroughputRows float64 // global rows per millisecond
+	Workers int
+	// PerDeviceUs is the compute-only time of one worker's wired mini-batch
+	// share (same frozen schedule, communication disabled).
+	PerDeviceUs float64
+	// AllReduceUs is the analytic ring formula for the full payload — the
+	// cross-check baseline, not part of the measured step.
+	AllReduceUs float64
+	// StepUs is the measured event-level cluster step: the slowest worker's
+	// batch, gradient exchange included (overlapped or not, as scheduled).
+	StepUs float64
+	// CommUs is the measured link-busy time of the exchange; CommSpanUs the
+	// interval from the first comm kernel's start to the last one's end.
+	CommUs     float64
+	CommSpanUs float64
+	// ThroughputRows is global rows per millisecond.
+	ThroughputRows float64
+	// Trials counts exploration mini-batches spent (0 for fixed schedules).
+	Trials int
+	// Bucket and Placement are the communication schedule the step ran
+	// with — the explorer's frozen choice, or the fixed one.
+	Bucket    string
+	Placement string
 }
 
 // Cluster runs Astra-wired data-parallel steps of a model across worker
@@ -69,59 +144,173 @@ type Cluster struct {
 	Preset enumerate.Preset
 	// PerOpCPUUs matches the single-GPU sessions.
 	PerOpCPUUs float64
+	// Seed offsets the simulated devices' RNG (worker ranks derive from it).
+	Seed uint64
 }
 
-// gradientBytes sums the model's parameter sizes (the all-reduce payload).
-func gradientBytes(m *models.Model) int64 {
-	var b int64
-	for _, p := range m.G.Params {
-		b += int64(p.Shape.NumElements()) * 8
+func (c *Cluster) preset() enumerate.Preset {
+	if c.Preset == "" {
+		return enumerate.PresetFK
 	}
-	return b
+	return c.Preset
+}
+
+func (c *Cluster) perOp() float64 {
+	if c.PerOpCPUUs == 0 {
+		return 2
+	}
+	return c.PerOpCPUUs
+}
+
+// build compiles the per-device replica for one worker count.
+func (c *Cluster) build(name string, globalBatch, n int) (*models.Model, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("distsim: worker count %d", n)
+	}
+	if globalBatch%n != 0 {
+		return nil, fmt.Errorf("distsim: batch %d not divisible by %d workers", globalBatch, n)
+	}
+	build, ok := models.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("distsim: unknown model %q", name)
+	}
+	return build(models.DefaultConfig(name, globalBatch/n)), nil
+}
+
+// session assembles a multi-worker wired session. adaptComm turns the
+// bucket/placement choices into explored variables; otherwise sched fixes
+// them.
+func (c *Cluster) session(m *models.Model, n int, adaptComm bool, sched Schedule) (*wire.Session, error) {
+	opts := enumerate.PresetOptions(c.preset())
+	opts.CommAdapt = adaptComm
+	opts.Workers = n
+	comm := wire.CommConfig{
+		Workers:    n,
+		BytesPerUs: c.Interconnect.BytesPerUs,
+		LatencyUs:  c.Interconnect.LatencyUs,
+		Fabric:     c.Interconnect.Name,
+	}
+	if !adaptComm {
+		kb, err := bucketKB(sched.Bucket)
+		if err != nil {
+			return nil, err
+		}
+		comm.DefaultBucketKB = kb
+		comm.DefaultPlacement = sched.Placement
+	}
+	dev := gpusim.P100()
+	dev.Seed += c.Seed
+	return wire.NewSession(m, wire.SessionConfig{
+		Device:  dev,
+		Options: opts,
+		Runner:  wire.RunnerConfig{PerOpCPUUs: c.perOp()},
+		Comm:    comm,
+	}), nil
+}
+
+// run explores (when the plan has adaptive variables), times one wired
+// cluster step, and measures the compute-only baseline of the same frozen
+// schedule with communication disabled.
+func (c *Cluster) run(m *models.Model, globalBatch, n int, adaptComm bool, sched Schedule) (Result, error) {
+	s, err := c.session(m, n, adaptComm, sched)
+	if err != nil {
+		return Result{}, err
+	}
+	s.Explore()
+	if err := s.Err(); err != nil {
+		return Result{}, fmt.Errorf("distsim: exploration: %w", err)
+	}
+	br := s.Step()
+	res := Result{
+		Workers:        n,
+		AllReduceUs:    c.Interconnect.RingAllReduceUs(s.Plan.GradBytes(), n),
+		StepUs:         br.TotalUs,
+		CommUs:         br.CommUs,
+		CommSpanUs:     br.CommSpanUs,
+		ThroughputRows: float64(globalBatch) / (br.TotalUs / 1000),
+		Trials:         s.Trials,
+		Bucket:         sched.Bucket,
+		Placement:      sched.Placement,
+	}
+	if v := s.Plan.CommBucketVar; v != nil {
+		res.Bucket = v.CurrentLabel()
+	}
+	if v := s.Plan.CommPlaceVar; v != nil {
+		res.Placement = v.CurrentLabel()
+	}
+	if n == 1 {
+		res.Bucket, res.Placement = "", ""
+		res.PerDeviceUs = br.TotalUs
+		return res, nil
+	}
+	// Compute-only reference: same plan, same frozen bindings, comm off.
+	// One wired batch on a fresh device — no re-exploration needed.
+	dev := gpusim.P100()
+	dev.Seed += c.Seed
+	solo := wire.NewRunner(s.Plan, gpusim.NewDevice(dev), wire.RunnerConfig{
+		PerOpCPUUs: c.perOp(),
+		Profile:    true,
+	})
+	res.PerDeviceUs = solo.RunBatch(nil, nil).TotalUs
+	return res, nil
 }
 
 // Step explores and times one data-parallel configuration: the global
 // batch is split across n workers, each worker custom-wires its own
-// (batch/n)-sized replica, and the step time is the slowest worker plus
-// the ring all-reduce. Identical replicas mean one simulated worker
-// suffices (they are deterministic).
+// (batch/n)-sized replica, and the communication schedule (bucket cap,
+// stream placement) is explored online alongside the compute schedule.
 func (c *Cluster) Step(name string, globalBatch, n int) (Result, error) {
-	if n <= 0 {
-		return Result{}, fmt.Errorf("distsim: worker count %d", n)
+	m, err := c.build(name, globalBatch, n)
+	if err != nil {
+		return Result{}, err
 	}
-	if globalBatch%n != 0 {
-		return Result{}, fmt.Errorf("distsim: batch %d not divisible by %d workers", globalBatch, n)
+	return c.run(m, globalBatch, n, true, Schedule{})
+}
+
+// StepFixed times one data-parallel configuration under a fixed
+// communication schedule (no comm exploration; the compute schedule still
+// explores per the preset).
+func (c *Cluster) StepFixed(name string, globalBatch, n int, sched Schedule) (Result, error) {
+	m, err := c.build(name, globalBatch, n)
+	if err != nil {
+		return Result{}, err
 	}
-	build, ok := models.Get(name)
-	if !ok {
-		return Result{}, fmt.Errorf("distsim: unknown model %q", name)
+	return c.run(m, globalBatch, n, false, sched)
+}
+
+// StepBulkSync times the bulk-synchronous baseline: one bucket, exchanged
+// on the main stream strictly after compute — what the analytic formula
+// models, and what overlap is measured against.
+func (c *Cluster) StepBulkSync(name string, globalBatch, n int) (Result, error) {
+	return c.StepFixed(name, globalBatch, n, BulkSync())
+}
+
+// Exhaustive measures every fixed communication schedule for the
+// configuration and returns the per-schedule results plus the index of the
+// fastest — the offline optimum the online explorer is judged against.
+func (c *Cluster) Exhaustive(name string, globalBatch, n int) ([]Result, int, error) {
+	m, err := c.build(name, globalBatch, n)
+	if err != nil {
+		return nil, -1, err
 	}
-	cfg := models.DefaultConfig(name, globalBatch/n)
-	m := build(cfg)
-	preset := c.Preset
-	if preset == "" {
-		preset = enumerate.PresetFK
+	plan := enumerate.Enumerate(m.G, enumerate.PresetOptions(c.preset()))
+	var out []Result
+	best := -1
+	for _, sched := range Schedules(plan.GradBytes()) {
+		mm, err := c.build(name, globalBatch, n)
+		if err != nil {
+			return nil, -1, err
+		}
+		r, err := c.run(mm, globalBatch, n, false, sched)
+		if err != nil {
+			return nil, -1, err
+		}
+		out = append(out, r)
+		if best < 0 || r.StepUs < out[best].StepUs {
+			best = len(out) - 1
+		}
 	}
-	perOp := c.PerOpCPUUs
-	if perOp == 0 {
-		perOp = 2
-	}
-	s := wire.NewSession(m, wire.SessionConfig{
-		Device:  gpusim.P100(),
-		Options: enumerate.PresetOptions(preset),
-		Runner:  wire.RunnerConfig{PerOpCPUUs: perOp},
-	})
-	s.Explore()
-	compute := s.WiredTimeUs()
-	comm := c.Interconnect.RingAllReduceUs(gradientBytes(m), n)
-	step := compute + comm
-	return Result{
-		Workers:        n,
-		PerDeviceUs:    compute,
-		AllReduceUs:    comm,
-		StepUs:         step,
-		ThroughputRows: float64(globalBatch) / (step / 1000),
-	}, nil
+	return out, best, nil
 }
 
 // BestWorkers measures every candidate worker count (Astra-style: run and

@@ -1,6 +1,7 @@
 package distsim
 
 import (
+	"math"
 	"testing"
 
 	"astra/internal/enumerate"
@@ -35,6 +36,12 @@ func TestFabrics(t *testing.T) {
 	if NVLink().RingAllReduceUs(bytes, 4) >= PCIe().RingAllReduceUs(bytes, 4) {
 		t.Fatal("NVLink all-reduce should beat PCIe")
 	}
+	if _, ok := FabricByName("pcie3"); !ok {
+		t.Fatal("pcie3 not found")
+	}
+	if _, ok := FabricByName("token-ring"); ok {
+		t.Fatal("bogus fabric found")
+	}
 }
 
 func TestStepValidation(t *testing.T) {
@@ -48,11 +55,31 @@ func TestStepValidation(t *testing.T) {
 	if _, err := c.Step("nope", 32, 2); err == nil {
 		t.Fatal("unknown model accepted")
 	}
+	if _, err := c.StepFixed("scrnn", 32, 2, Schedule{Bucket: "x", Placement: "main"}); err == nil {
+		t.Fatal("bad bucket label accepted")
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	scheds := Schedules(16 << 20)
+	if len(scheds) < 4 {
+		t.Fatalf("schedule space too small: %d", len(scheds))
+	}
+	seenAllMain := false
+	for _, s := range scheds {
+		if s == BulkSync() {
+			seenAllMain = true
+		}
+	}
+	if !seenAllMain {
+		t.Fatal("bulk-sync schedule not in the sweep space")
+	}
 }
 
 func TestDataParallelTradeoff(t *testing.T) {
 	// The fundamental shape: per-device compute falls with more workers,
-	// all-reduce rises, and there is a sweet spot — measured, not modeled.
+	// the (analytic) all-reduce term rises, and there is a sweet spot —
+	// measured, not modeled.
 	c := &Cluster{Interconnect: PCIe(), Preset: enumerate.PresetFK}
 	results, best, err := c.BestWorkers("scrnn", 64, []int{1, 2, 4, 8})
 	if err != nil {
@@ -70,8 +97,19 @@ func TestDataParallelTradeoff(t *testing.T) {
 			t.Errorf("all-reduce did not rise with workers")
 		}
 	}
-	if results[0].AllReduceUs != 0 {
-		t.Fatal("n=1 should have no all-reduce")
+	if results[0].AllReduceUs != 0 || results[0].CommUs != 0 {
+		t.Fatalf("n=1 should have no all-reduce: %+v", results[0])
+	}
+	for _, r := range results[1:] {
+		if r.CommUs <= 0 || r.CommSpanUs <= 0 {
+			t.Fatalf("n=%d exchanged no gradients: %+v", r.Workers, r)
+		}
+		if r.StepUs < r.PerDeviceUs {
+			t.Fatalf("n=%d step faster than compute alone: %+v", r.Workers, r)
+		}
+		if r.Bucket == "" || r.Placement == "" {
+			t.Fatalf("n=%d missing explored comm schedule: %+v", r.Workers, r)
+		}
 	}
 	if best < 0 || results[best].ThroughputRows <= results[0].ThroughputRows*0.99 {
 		t.Fatalf("scaling never beat one worker: best=%d %+v", best, results[best])
@@ -94,5 +132,77 @@ func TestFasterFabricShiftsSweetSpot(t *testing.T) {
 	}
 	if cands[bestFast] < cands[bestSlow] {
 		t.Fatalf("faster fabric chose fewer workers (%d) than slower (%d)", cands[bestFast], cands[bestSlow])
+	}
+}
+
+// TestEventCrossChecksAnalytic is the model-validation bridge: one bucket,
+// serialized on the main stream, is exactly the regime the closed-form ring
+// formula describes, so the measured first-to-last comm kernel span must
+// converge to it within 5% (the residue is per-kernel setup cost).
+func TestEventCrossChecksAnalytic(t *testing.T) {
+	for _, ic := range Fabrics() {
+		c := &Cluster{Interconnect: ic, Preset: enumerate.PresetFK}
+		r, err := c.StepBulkSync("scrnn", 64, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.AllReduceUs <= 0 || r.CommSpanUs <= 0 {
+			t.Fatalf("%s: empty exchange: %+v", ic.Name, r)
+		}
+		if rel := math.Abs(r.CommSpanUs-r.AllReduceUs) / r.AllReduceUs; rel > 0.05 {
+			t.Errorf("%s: event-level span %v vs analytic %v (%.1f%% off)",
+				ic.Name, r.CommSpanUs, r.AllReduceUs, 100*rel)
+		}
+		// Bulk-sync means exchange strictly after compute: the step must
+		// decompose into the two parts.
+		if r.StepUs < r.PerDeviceUs+r.CommSpanUs*0.95 {
+			t.Errorf("%s: bulk-sync step %v < compute %v + exchange %v",
+				ic.Name, r.StepUs, r.PerDeviceUs, r.CommSpanUs)
+		}
+	}
+}
+
+// TestOverlapBeatsBulkSync: a bucketed exchange on a dedicated comm stream
+// hides communication behind the remaining backward pass, so the measured
+// step must beat the bulk-synchronous baseline — the point of the whole
+// comm dimension.
+func TestOverlapBeatsBulkSync(t *testing.T) {
+	c := &Cluster{Interconnect: PCIe(), Preset: enumerate.PresetFK}
+	bulk, err := c.StepBulkSync("scrnn", 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explored, err := c.Step("scrnn", 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explored.StepUs >= bulk.StepUs {
+		t.Fatalf("explored schedule (%v, bucket=%s place=%s) did not beat bulk-sync (%v)",
+			explored.StepUs, explored.Bucket, explored.Placement, bulk.StepUs)
+	}
+}
+
+// TestExploredMatchesExhaustive: the online explorer's frozen communication
+// schedule must land within 2% of the best fixed schedule found by
+// exhaustively measuring the whole space.
+func TestExploredMatchesExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	c := &Cluster{Interconnect: PCIe(), Preset: enumerate.PresetFK}
+	sweep, best, err := c.Exhaustive("scrnn", 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explored, err := c.Step("scrnn", 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestUs := sweep[best].StepUs
+	if explored.StepUs > bestUs*1.02 {
+		t.Fatalf("explored %v (bucket=%s place=%s) vs exhaustive best %v (bucket=%s place=%s): gap %.2f%%",
+			explored.StepUs, explored.Bucket, explored.Placement,
+			bestUs, sweep[best].Bucket, sweep[best].Placement,
+			100*(explored.StepUs/bestUs-1))
 	}
 }

@@ -1,0 +1,138 @@
+package enumerate
+
+import (
+	"strconv"
+
+	"astra/internal/adapt"
+	"astra/internal/graph"
+)
+
+// GradSite locates one parameter gradient in the wired schedule: the unit
+// whose dispatch completes the gradient, and the all-reduce payload it
+// contributes. Sites are ordered by dispatch order (super-epoch, epoch,
+// unit), which is the order gradients become ready on the device — the
+// order the gradient-bucketing comm engine packs them in.
+type GradSite struct {
+	Param *graph.Value
+	Grad  *graph.Value
+	Unit  *Unit
+	Bytes int64
+}
+
+// GradBytes sums the all-reduce payload over every gradient site.
+func (p *Plan) GradBytes() int64 {
+	var b int64
+	for _, g := range p.Grads {
+		b += g.Bytes
+	}
+	return b
+}
+
+// gradSites maps every parameter gradient to the schedule unit that
+// produces it and sorts the sites into dispatch order. Gradients whose
+// producer was folded away as a view (transposes absorbed into GEMM
+// operand flags) attach to the unit of the first real producer found by
+// walking the view chain; anything still unresolved attaches to the last
+// unit, which can only delay — never break — its exchange.
+func (p *Plan) gradSites() []GradSite {
+	nodeUnit := map[*graph.Node]*Unit{}
+	order := map[*Unit]int{}
+	seq := 0
+	for _, se := range p.Supers {
+		for _, ep := range se.Epochs {
+			for _, u := range ep.Units {
+				order[u] = seq
+				seq++
+				for _, n := range u.Nodes {
+					nodeUnit[n] = u
+				}
+			}
+		}
+	}
+	var last *Unit
+	for _, se := range p.Supers {
+		for _, ep := range se.Epochs {
+			if len(ep.Units) > 0 {
+				last = ep.Units[len(ep.Units)-1]
+			}
+		}
+	}
+	var sites []GradSite
+	for _, param := range p.G.Params {
+		gv, ok := p.G.Grads[param]
+		if !ok || gv == nil {
+			continue
+		}
+		u := unitProducing(gv, nodeUnit)
+		if u == nil {
+			u = last
+		}
+		if u == nil {
+			continue
+		}
+		sites = append(sites, GradSite{
+			Param: param,
+			Grad:  gv,
+			Unit:  u,
+			Bytes: int64(gv.Shape.NumElements()) * 8,
+		})
+	}
+	// Dispatch order; ties (one unit producing several gradients) keep the
+	// deterministic Params order.
+	for i := 1; i < len(sites); i++ {
+		for j := i; j > 0 && order[sites[j].Unit] < order[sites[j-1].Unit]; j-- {
+			sites[j], sites[j-1] = sites[j-1], sites[j]
+		}
+	}
+	return sites
+}
+
+// unitProducing walks producer links (seeing through units-absorbed views)
+// until it finds a node that belongs to a schedule unit.
+func unitProducing(v *graph.Value, nodeUnit map[*graph.Node]*Unit) *Unit {
+	for hops := 0; v != nil && v.Producer != nil && hops < 8; hops++ {
+		if u, ok := nodeUnit[v.Producer]; ok {
+			return u
+		}
+		if len(v.Producer.Inputs) == 0 {
+			return nil
+		}
+		v = v.Producer.Inputs[0]
+	}
+	return nil
+}
+
+// CommPlacementLabels are the comm-stream placement choices: "comm" issues
+// all-reduce steps on a dedicated communication stream so gradient exchange
+// overlaps the remaining backward compute; "main" issues them on stream 0,
+// serializing exchange behind compute (the bulk-synchronous regime when
+// combined with a single bucket).
+var CommPlacementLabels = []string{"comm", "main"}
+
+// commBucketLabels enumerates gradient-bucket byte caps for a model with
+// totalBytes of gradients: powers of four from 256 KB up to (but excluding)
+// the total, capped at a handful of choices, plus "all" — one bucket
+// holding every gradient.
+func commBucketLabels(totalBytes int64) []string {
+	var out []string
+	for kb := int64(256); kb*1024 < totalBytes && len(out) < 4; kb *= 4 {
+		out = append(out, strconv.FormatInt(kb, 10))
+	}
+	return append(out, "all")
+}
+
+// CommBucketLabels returns the explorer's bucket-cap choice set for a given
+// gradient payload — exported so exhaustive sweeps (distsim, harness) cover
+// exactly the space the online explorer searches.
+func CommBucketLabels(totalBytes int64) []string { return commBucketLabels(totalBytes) }
+
+// buildCommNode creates the communication subtree: bucket size explores
+// first (placement pinned at its default), then placement under the frozen
+// bucket's context — the natural Prefix order, since the value of a
+// dedicated stream depends on how much overlap the bucketing exposes.
+func (p *Plan) buildCommNode() *adapt.Tree {
+	p.CommBucketVar = adapt.NewVar("comm.bucket_kb", commBucketLabels(p.GradBytes())...)
+	p.CommPlaceVar = adapt.NewVar("comm.place", CommPlacementLabels...)
+	return adapt.NewNode("comm", adapt.Prefix,
+		adapt.LeafNode(p.CommBucketVar), adapt.LeafNode(p.CommPlaceVar))
+}

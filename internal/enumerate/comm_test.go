@@ -1,0 +1,84 @@
+package enumerate
+
+import (
+	"strings"
+	"testing"
+
+	"astra/internal/models"
+)
+
+func commPlan(t *testing.T, workers int, adapt bool) *Plan {
+	t.Helper()
+	build, ok := models.Get("sublstm")
+	if !ok {
+		t.Fatal("model sublstm")
+	}
+	m := build(models.TinyConfig("sublstm", 2))
+	opts := PresetOptions(PresetFK)
+	opts.CommAdapt = adapt
+	opts.Workers = workers
+	return Enumerate(m.G, opts)
+}
+
+func TestCommBucketLabels(t *testing.T) {
+	// A tiny payload yields only "all".
+	if got := CommBucketLabels(1024); len(got) != 1 || got[0] != "all" {
+		t.Fatalf("tiny payload labels = %v", got)
+	}
+	// A large payload yields ascending KB powers of four, capped, plus
+	// "all" as the final choice.
+	got := CommBucketLabels(1 << 30)
+	if got[len(got)-1] != "all" {
+		t.Fatalf("labels must end in all: %v", got)
+	}
+	if len(got) < 3 || len(got) > 5 {
+		t.Fatalf("label ladder wrong size: %v", got)
+	}
+	if got[0] != "256" || got[1] != "1024" {
+		t.Fatalf("ladder should start 256, 1024: %v", got)
+	}
+}
+
+func TestCommNodeInTree(t *testing.T) {
+	p := commPlan(t, 4, true)
+	if p.CommBucketVar == nil || p.CommPlaceVar == nil {
+		t.Fatal("comm variables not enumerated")
+	}
+	if p.GradBytes() <= 0 {
+		t.Fatal("no gradient payload")
+	}
+	if len(p.Grads) == 0 {
+		t.Fatal("no gradient sites")
+	}
+	r := p.Tree.Render()
+	for _, want := range []string{"comm.bucket_kb", "comm.place"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("update tree missing %s:\n%s", want, r)
+		}
+	}
+	// Placement labels are fixed; bucket labels come from the payload.
+	if got := len(p.CommPlaceVar.Labels); got != 2 {
+		t.Fatalf("placement choices = %d", got)
+	}
+	wantBuckets := len(CommBucketLabels(p.GradBytes()))
+	if got := len(p.CommBucketVar.Labels); got != wantBuckets {
+		t.Fatalf("bucket choices = %d, want %d", got, wantBuckets)
+	}
+}
+
+func TestCommNodeGatedOff(t *testing.T) {
+	// No CommAdapt: no comm variables, even with workers set.
+	p := commPlan(t, 4, false)
+	if p.CommBucketVar != nil || p.CommPlaceVar != nil {
+		t.Fatal("comm variables enumerated without CommAdapt")
+	}
+	// CommAdapt but a single worker: still gated off.
+	p = commPlan(t, 1, true)
+	if p.CommBucketVar != nil || p.CommPlaceVar != nil {
+		t.Fatal("comm variables enumerated for one worker")
+	}
+	// Gradient sites exist regardless (distsim needs the payload size).
+	if len(p.Grads) == 0 {
+		t.Fatal("gradient sites missing without CommAdapt")
+	}
+}

@@ -30,6 +30,14 @@ type Options struct {
 	// the paper's prototype.
 	ElementwiseFusion bool
 
+	// CommAdapt adds the data-parallel communication dimension (§3.4,
+	// §6.7): gradient-bucket size and comm-stream placement become
+	// adaptive variables. It only takes effect with Workers >= 2.
+	CommAdapt bool
+	// Workers is the data-parallel worker count the schedule will run at;
+	// it sizes the ring all-reduce the comm variables control.
+	Workers int
+
 	// NumStreams is the stream count used when StreamAdapt is set.
 	NumStreams int
 	// SuperEpochUs is the barrier-exploration granularity (§4.5.3),
@@ -126,6 +134,14 @@ type Plan struct {
 	EpochVarID map[*Epoch]string
 	// EpochVars holds the composite variables themselves.
 	EpochVars map[*Epoch]*adapt.Var
+
+	// Grads locates every parameter gradient in the schedule, in dispatch
+	// order — the packing order of the gradient-bucketing comm engine.
+	Grads []GradSite
+	// CommBucketVar / CommPlaceVar are the communication dimension's
+	// adaptive variables (nil unless CommAdapt with Workers >= 2).
+	CommBucketVar *adapt.Var
+	CommPlaceVar  *adapt.Var
 }
 
 // Enumerate runs the compiler over a training graph.
@@ -180,6 +196,7 @@ func Enumerate(g *graph.Graph, opts Options) *Plan {
 			p.Groups = append(p.Groups, u.Group)
 		}
 	}
+	p.Grads = p.gradSites()
 	p.buildTree()
 	return p
 }
@@ -303,12 +320,28 @@ func (p *Plan) buildTree() {
 			body = append(body, adapt.NewNode("streams", adapt.Parallel, supers...))
 		}
 	}
-	if len(body) == 0 {
-		return
-	}
-	inner := body[0]
-	if len(body) > 1 {
+	var inner *adapt.Tree
+	switch len(body) {
+	case 0:
+	case 1:
+		inner = body[0]
+	default:
 		inner = adapt.NewNode("body", adapt.Parallel, body...)
+	}
+	// The communication dimension explores after the compute schedule has
+	// frozen (Prefix): its variables are judged on end-to-end batch time,
+	// which is only a clean signal once fusion/kernel/stream choices have
+	// stopped moving — and the best bucketing genuinely depends on them.
+	if p.Opts.CommAdapt && p.Opts.Workers >= 2 && len(p.Grads) > 0 {
+		comm := p.buildCommNode()
+		if inner == nil {
+			inner = comm
+		} else {
+			inner = adapt.NewNode("sched", adapt.Prefix, inner, comm)
+		}
+	}
+	if inner == nil {
+		return
 	}
 	if p.Opts.AllocAdapt && len(p.Allocs) > 1 {
 		labels := make([]string, len(p.Allocs))

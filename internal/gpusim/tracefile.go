@@ -14,20 +14,27 @@ import (
 // launch-overhead-bound schedules visually obvious. Track names are set
 // idempotently, so per-batch exports accumulate into one coherent trace.
 func (d *Device) ExportSpans(tr *obs.Tracer, offsetUs float64) {
-	tr.SetProcessName(obs.PIDDevice, "device")
-	tr.SetProcessName(obs.PIDQueue, "launch queue")
+	d.ExportSpansTo(tr, offsetUs, obs.PIDDevice, obs.PIDQueue, "")
+}
+
+// ExportSpansTo is ExportSpans onto explicit device and launch-queue pids,
+// with a label prefixed to the track-group names — how each worker of a
+// multi-GPU session gets its own pid block (obs.WorkerPID) in one trace.
+func (d *Device) ExportSpansTo(tr *obs.Tracer, offsetUs float64, devPID, queuePID int, label string) {
+	tr.SetProcessName(devPID, label+"device")
+	tr.SetProcessName(queuePID, label+"launch queue")
 	for s := range d.streams {
-		tr.SetThreadName(obs.PIDDevice, s, fmt.Sprintf("stream %d", s))
-		tr.SetThreadName(obs.PIDQueue, s, fmt.Sprintf("stream %d queue", s))
+		tr.SetThreadName(devPID, s, fmt.Sprintf("stream %d", s))
+		tr.SetThreadName(queuePID, s, fmt.Sprintf("stream %d queue", s))
 	}
 	for _, r := range d.records {
-		tr.AddSpan(obs.PIDDevice, r.Stream, r.Name, "kernel",
+		tr.AddSpan(devPID, r.Stream, r.Name, "kernel",
 			offsetUs+r.StartUs, r.EndUs-r.StartUs, map[string]interface{}{
 				"tiles":        r.Tiles,
 				"tile_time_us": r.TileTimeUs,
 			})
 		if gap := r.StartUs - r.LaunchUs; gap > 0 {
-			tr.AddSpan(obs.PIDQueue, r.Stream, r.Name+" (queued)", "queue",
+			tr.AddSpan(queuePID, r.Stream, r.Name+" (queued)", "queue",
 				offsetUs+r.LaunchUs, gap, nil)
 		}
 	}

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"testing"
+
+	"astra/internal/distsim"
+)
+
+// TestMultiGPUExplorationMatchesExhaustive is the acceptance bar of the
+// event-level comm dimension: for two models on both fabrics, the online
+// explorer's frozen bucket/placement schedule must land within 2% of the
+// best schedule found by exhaustively measuring the whole space, and the
+// overlap must beat the bulk-synchronous baseline on at least one pair.
+func TestMultiGPUExplorationMatchesExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute experiment")
+	}
+	models := []string{"scrnn", "sublstm"}
+	overlapWins := 0
+	for _, name := range models {
+		for _, fabric := range distsim.Fabrics() {
+			c, err := CompareMultiGPU(name, fabric, 64, 4)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, fabric.Name, err)
+			}
+			if gap := c.GapPct(); gap > 2.0 {
+				t.Errorf("%s/%s: explored %v (bucket=%s place=%s) is %.2f%% off exhaustive best %v (bucket=%s place=%s)",
+					name, fabric.Name, c.ExploredUs, c.ExploredBucket, c.ExploredPlace,
+					gap, c.ExhaustiveUs, c.ExhaustiveBucket, c.ExhaustivePlace)
+			}
+			if c.ExploredUs < c.BulkSyncUs {
+				overlapWins++
+			}
+			t.Logf("%s/%s: bulk=%.0f explored=%.0f (gain %.1f%%) exhaustive=%.0f (gap %.2f%%) schedule=%s/%s",
+				name, fabric.Name, c.BulkSyncUs, c.ExploredUs, c.OverlapGainPct(),
+				c.ExhaustiveUs, c.GapPct(), c.ExploredBucket, c.ExploredPlace)
+		}
+	}
+	if overlapWins == 0 {
+		t.Error("overlapped gradient exchange never beat the bulk-synchronous baseline")
+	}
+}

@@ -42,6 +42,13 @@ type TrialEvent struct {
 	// Drift marks the wired batch on which the drift watchdog fired and
 	// thawed the explorer back into exploration.
 	Drift bool `json:"drift,omitempty"`
+	// Workers is the data-parallel worker count of a multi-GPU session
+	// (omitted for single-GPU sessions), CommUs the link-busy time of the
+	// batch's gradient exchange, and WorkerUs the per-worker batch times
+	// whose max is BatchUs.
+	Workers  int       `json:"workers,omitempty"`
+	CommUs   float64   `json:"comm_us,omitempty"`
+	WorkerUs []float64 `json:"worker_us,omitempty"`
 }
 
 // EventLog writes TrialEvents as JSON Lines. The zero sink is valid: Emit

@@ -33,6 +33,15 @@ const (
 	TIDWirer = 1
 )
 
+// PIDStride is the pid-space block one simulated worker occupies: worker w
+// of a multi-GPU session uses pids [w·PIDStride, (w+1)·PIDStride), so every
+// worker gets its own device / launch-queue process groups in the trace.
+const PIDStride = 4
+
+// WorkerPID shifts one of the base pids above into worker w's pid block.
+// Worker 0 keeps the base layout, so single-GPU traces are unchanged.
+func WorkerPID(base, worker int) int { return base + worker*PIDStride }
+
 // TraceEvent is one event in the Chrome trace-event format. Phases used
 // here: "X" (complete span), "C" (counter), "M" (metadata).
 type TraceEvent struct {

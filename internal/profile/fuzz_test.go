@@ -1,0 +1,45 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzIndexLoad hardens the snapshot loader: arbitrary bytes — corrupt,
+// truncated, hostile, or valid v1/v2 saves — must either load cleanly or
+// return an error, never panic. A successfully loaded index must survive a
+// Save/Load round trip.
+func FuzzIndexLoad(f *testing.F) {
+	// Current v2 multi-sample format.
+	f.Add([]byte(`{"version":2,"entries":{"root#gemm.chunk=4":{"count":3,"mean":12.5,"m2":0.3,"trial":7}}}`))
+	// Legacy (pre-versioning) single-sample format.
+	f.Add([]byte(`{"entries":{"root#gemm.chunk=4":{"ValueUs":12.5,"Trial":3}}}`))
+	// Truncated mid-entry.
+	f.Add([]byte(`{"version":2,"entries":{"a":{"count":`))
+	// Future version.
+	f.Add([]byte(`{"version":99,"entries":{}}`))
+	// Wrong shapes and garbage.
+	f.Add([]byte(`{"version":2,"entries":{"a":[1,2,3]}}`))
+	f.Add([]byte(`{"version":2,"entries":{"a":{"count":-5,"mean":1e308,"m2":-1,"trial":-9}}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix := NewIndex()
+		if err := ix.Load(bytes.NewReader(data)); err != nil {
+			return // rejected cleanly: exactly what corrupt input should do
+		}
+		// Accepted: the index must be fully usable. Round-trip it.
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatalf("loaded index failed to save: %v", err)
+		}
+		again := NewIndex()
+		if err := again.Load(&buf); err != nil {
+			t.Fatalf("round trip failed: %v\nsnapshot: %s", err, buf.Bytes())
+		}
+		if again.Len() != ix.Len() {
+			t.Fatalf("round trip changed size: %d -> %d", ix.Len(), again.Len())
+		}
+	})
+}

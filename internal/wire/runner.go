@@ -38,6 +38,9 @@ type RunnerConfig struct {
 	// Profile enables the cudaEvent instrumentation. Astra keeps it
 	// always on (overhead <0.5%, §6.4); baselines run without it.
 	Profile bool
+	// Comm configures event-level data-parallel gradient exchange; the
+	// zero value disables it (single-worker sessions).
+	Comm CommConfig
 }
 
 // BatchResult reports one dispatched mini-batch.
@@ -54,6 +57,17 @@ type BatchResult struct {
 	Events int
 	// ProfEvents counts the events recorded purely for profiling.
 	ProfEvents int
+	// CommKernels counts ring all-reduce step kernels issued, and CommUs
+	// sums their device time (link-busy time). CommSpanUs is the interval
+	// from the first comm kernel's start to the last one's end — with a
+	// single bucket on the main stream this is the serialized exchange
+	// time the analytic RingAllReduceUs formula models.
+	CommKernels int
+	CommUs      float64
+	CommSpanUs  float64
+	// WorkerUs lists every worker's batch time when the session steps a
+	// multi-worker cluster; TotalUs is then their max.
+	WorkerUs []float64
 	// Env holds the computed values when value evaluation was requested.
 	Env graph.Env
 }
@@ -77,6 +91,10 @@ type Runner struct {
 	obs           *obs.Telemetry
 	traceOffsetUs float64
 	traceDetail   bool
+
+	// commStream is the dedicated communication stream (the first stream
+	// index beyond the compute streams) when comm is enabled.
+	commStream int
 }
 
 // Instrument attaches a telemetry bundle; subsequent batches emit dispatch
@@ -96,12 +114,23 @@ func (r *Runner) SetTraceOffset(us float64, detail bool) {
 	r.traceDetail = detail
 }
 
-// NewRunner builds a runner and sizes the device's stream set.
+// NewRunner builds a runner and sizes the device's stream set. With comm
+// enabled, one extra stream beyond the compute streams is reserved for
+// communication kernels.
 func NewRunner(plan *enumerate.Plan, dev *gpusim.Device, cfg RunnerConfig) *Runner {
 	if plan.Opts.StreamAdapt {
 		dev.EnsureStreams(plan.Opts.NumStreams)
 	}
-	return &Runner{Plan: plan, Dev: dev, Cfg: cfg}
+	r := &Runner{Plan: plan, Dev: dev, Cfg: cfg}
+	if cfg.Comm.Enabled() {
+		compute := 1
+		if plan.Opts.StreamAdapt {
+			compute = plan.Opts.NumStreams
+		}
+		r.commStream = compute
+		dev.EnsureStreams(compute + 1)
+	}
+	return r
 }
 
 // dispatchState carries the per-batch bookkeeping.
@@ -121,6 +150,11 @@ type dispatchState struct {
 	prevEpochEvents []*gpusim.Event
 	prevEpochStream []int
 	usedStreams     map[int]bool
+	// comm is the batch's gradient-bucketing plan (nil when comm is off).
+	// The comm stream deliberately stays out of usedStreams: super-epoch
+	// barriers exist to isolate schedule exploration, and syncing the
+	// exchange at every barrier would serialize it behind compute again.
+	comm *commState
 }
 
 // RunBatch dispatches one mini-batch with the plan's current variable
@@ -138,6 +172,7 @@ func (r *Runner) RunBatch(inputs graph.Env, params graph.Env) BatchResult {
 		seStart:     map[*enumerate.SuperEpoch]*gpusim.Event{},
 		usedStreams: map[int]bool{0: true},
 	}
+	st.comm = r.prepareComm()
 	if st.evalValues {
 		st.env = make(graph.Env, len(r.Plan.G.Values))
 		for _, v := range r.Plan.G.Inputs {
@@ -173,6 +208,14 @@ func (r *Runner) RunBatch(inputs graph.Env, params graph.Env) BatchResult {
 		}
 		r.superEpochBarrier(st)
 	}
+	// The batch ends only when the gradient exchange has: the optimizer
+	// consumes the reduced gradients, so stream 0 joins on the comm stream
+	// before the end-of-batch span is recorded.
+	if st.comm != nil && st.comm.stream != 0 {
+		done := r.recordEvent(st, st.comm.stream)
+		r.Dev.WaitEvent(0, done)
+		st.events++
+	}
 	if r.Cfg.Profile {
 		st.span[1] = r.recordProfEvent(st, 0)
 	}
@@ -185,6 +228,9 @@ func (r *Runner) RunBatch(inputs graph.Env, params graph.Env) BatchResult {
 		Events:     st.events,
 		ProfEvents: st.profEvents,
 		Env:        st.env,
+	}
+	if st.comm != nil {
+		commStats(dev.Records(), &res)
 	}
 	if r.Cfg.Profile {
 		r.extractMetrics(st, &res)
@@ -283,6 +329,7 @@ func (r *Runner) dispatchEpoch(st *dispatchState, se *enumerate.SuperEpoch, ep *
 		st.usedStreams[stream] = true
 		ensureOrdered(stream)
 		r.dispatchUnit(st, u, stream)
+		r.maybeLaunchComm(st, st.comm, u, stream)
 	}
 	// Record this epoch's end on each used stream for the next epoch and
 	// for the epoch completion metric.
@@ -584,6 +631,15 @@ func (r *Runner) extractMetrics(st *dispatchState, res *BatchResult) {
 		total := gpusim.Elapsed(st.span[0], st.span[1])
 		if r.Plan.AllocVar != nil {
 			res.Metrics[r.Plan.AllocVar.ID] = total
+		}
+		// The comm variables are judged end-to-end: overlap quality shows
+		// up only in the whole batch time, never in the exchange span
+		// alone.
+		if r.Plan.CommBucketVar != nil {
+			res.Metrics[r.Plan.CommBucketVar.ID] = total
+		}
+		if r.Plan.CommPlaceVar != nil {
+			res.Metrics[r.Plan.CommPlaceVar.ID] = total
 		}
 		res.Metrics["e2e"] = total
 	}

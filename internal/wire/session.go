@@ -26,6 +26,12 @@ type Session struct {
 	Ix     *profile.Index
 	Exp    *adapt.Explorer // nil when the plan has no adaptive variables
 
+	// Peers are the other workers of a multi-GPU session (ranks 1..n−1),
+	// each with its own simulated device but sharing the plan — identical
+	// replicas stepping in lockstep, the way synchronous data parallelism
+	// works. Step runs every peer and reports the slowest worker.
+	Peers []*Runner
+
 	// EvalValues runs the CPU value oracle each batch (slow; tests and
 	// examples only — timing never depends on it).
 	EvalValues bool
@@ -172,6 +178,10 @@ type SessionConfig struct {
 	Runner       RunnerConfig
 	EvalValues   bool
 	LearningRate float64
+	// Comm enables multi-worker data-parallel stepping with event-level
+	// gradient exchange (Comm.Workers >= 2). The enumerate Options must
+	// carry the same worker count for the comm variables to exist.
+	Comm CommConfig
 	// Index warm-starts the session with a previously saved profile index
 	// (profile.Index.Save/Load). The enumerator is deterministic, so a
 	// snapshot from an earlier run of the same job makes exploration
@@ -185,6 +195,8 @@ func NewSession(m *models.Model, cfg SessionConfig) *Session {
 	dev := gpusim.NewDevice(cfg.Device)
 	rcfg := cfg.Runner
 	rcfg.Profile = true
+	rcfg.Comm = cfg.Comm
+	rcfg.Comm.Rank = 0
 	ix := cfg.Index
 	if ix == nil {
 		ix = profile.NewIndex()
@@ -196,6 +208,17 @@ func NewSession(m *models.Model, cfg SessionConfig) *Session {
 		Ix:           ix,
 		EvalValues:   cfg.EvalValues,
 		LearningRate: cfg.LearningRate,
+	}
+	for rank := 1; rank < cfg.Comm.Workers; rank++ {
+		// Each peer simulates its own device. The seed is derived per
+		// rank, so jitter and fault streams are independent across
+		// workers (and still reproducible run to run); with noise off the
+		// replicas are bit-identical.
+		dcfg := cfg.Device
+		dcfg.Seed = cfg.Device.Seed + uint64(rank)*0x9E3779B97F4A7C15
+		prcfg := rcfg
+		prcfg.Comm.Rank = rank
+		s.Peers = append(s.Peers, NewRunner(plan, gpusim.NewDevice(dcfg), prcfg))
 	}
 	if cfg.EvalValues {
 		s.Params = m.G.InitialParams()
@@ -228,6 +251,11 @@ func (s *Session) Instrument(tel *obs.Telemetry) {
 	tel.Metrics.Counter("wirer.events", "cudaEvents recorded or waited on")
 	tel.Metrics.Gauge("profile.hit_rate", "profile index hit rate")
 	tel.Metrics.Counter("session.drift_events", "wired-phase drift watchdog firings")
+	if len(s.Peers) > 0 {
+		tel.Metrics.Gauge("distsim.workers", "data-parallel worker count").Set(float64(len(s.Peers) + 1))
+		tel.Metrics.Histogram("distsim.comm_us", "per-batch gradient-exchange link-busy time")
+		tel.Metrics.Counter("distsim.comm_kernels", "ring all-reduce step kernels launched")
+	}
 }
 
 // CloseTelemetry emits the session-level root span; call once after the
@@ -278,15 +306,29 @@ func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]str
 		phase = "explore"
 	}
 	args := map[string]interface{}{"kernels": res.Kernels}
+	if len(res.WorkerUs) > 0 {
+		args["workers"] = len(res.WorkerUs)
+		args["comm_us"] = res.CommUs
+	}
 	for k, v := range bindings {
 		args["bind."+k] = v
 	}
 	tel.Trace.AddSpan(obs.PIDDispatch, obs.TIDBatches, name, phase, startUs, res.TotalUs, args)
 
 	// Device streams and launch queues, shifted onto the session clock —
-	// only for detail batches, so long sessions stay loadable.
+	// only for detail batches, so long sessions stay loadable. Peers land
+	// in their own pid blocks; each worker's comm stream gets a named lane
+	// so the overlap (or lack of it) reads directly off the trace.
 	if detail {
 		s.Runner.Dev.ExportSpans(tel.Trace, startUs)
+		s.nameCommLane(obs.PIDDevice, s.Runner)
+		for i, p := range s.Peers {
+			rank := i + 1
+			devPID := obs.WorkerPID(obs.PIDDevice, rank)
+			p.Dev.ExportSpansTo(tel.Trace, startUs, devPID,
+				obs.WorkerPID(obs.PIDQueue, rank), fmt.Sprintf("worker %d ", rank))
+			s.nameCommLane(devPID, p)
+		}
 	}
 
 	// Exploration counter tracks.
@@ -306,6 +348,13 @@ func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]str
 	tel.Metrics.Counter("wirer.kernels", "").Add(float64(res.Kernels))
 	tel.Metrics.Counter("wirer.events", "").Add(float64(res.Events))
 	tel.Metrics.Gauge("profile.hit_rate", "").Set(s.Ix.HitRate())
+	workers := 0
+	if len(res.WorkerUs) > 0 {
+		workers = len(res.WorkerUs)
+		tel.Metrics.Histogram("distsim.comm_us", "").Observe(res.CommUs)
+		tel.Metrics.Counter("distsim.comm_kernels", "").Add(float64(res.CommKernels))
+		tel.Trace.AddCounter(obs.PIDExplore, "distsim.comm_us", endUs, map[string]float64{"us": res.CommUs})
+	}
 
 	// One structured record per mini-batch.
 	_ = tel.Events.Emit(obs.TrialEvent{
@@ -323,7 +372,23 @@ func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]str
 		Bindings:       bindings,
 		Metrics:        res.Metrics,
 		Drift:          drift,
+		Workers:        workers,
+		CommUs:         res.CommUs,
+		WorkerUs:       res.WorkerUs,
 	})
+}
+
+// nameCommLane labels a worker's communication stream in the trace; a no-op
+// for single-worker runners.
+func (s *Session) nameCommLane(devPID int, r *Runner) {
+	if s.Obs == nil || !r.Cfg.Comm.Enabled() {
+		return
+	}
+	name := "comm stream"
+	if f := r.Cfg.Comm.Fabric; f != "" {
+		name = "comm stream (" + f + ")"
+	}
+	s.Obs.Trace.SetThreadName(devPID, r.CommStream(), name)
 }
 
 // Step runs one training mini-batch with the current configuration. While
@@ -347,6 +412,21 @@ func (s *Session) Step() BatchResult {
 		}
 	} else {
 		res = s.Runner.RunBatch(nil, nil)
+	}
+	if len(s.Peers) > 0 {
+		// Synchronous data parallelism: every worker steps the same plan
+		// binding, and the cluster's batch time is the slowest worker's.
+		// Worker 0's metrics stay the explorer's signal — with the default
+		// noise-free device the replicas are identical, so its e2e IS the
+		// cluster step; under per-worker noise it is the unbiased proxy.
+		res.WorkerUs = append(res.WorkerUs, res.TotalUs)
+		for _, p := range s.Peers {
+			pr := p.RunBatch(nil, nil)
+			res.WorkerUs = append(res.WorkerUs, pr.TotalUs)
+			if pr.TotalUs > res.TotalUs {
+				res.TotalUs = pr.TotalUs
+			}
+		}
 	}
 	var bindings map[string]string
 	drift := false
