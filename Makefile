@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint race bench experiments experiments-quick cover cover-check clean
+.PHONY: all build test test-short vet verify lint race bench experiments experiments-quick cover cover-check clean
 
 all: build lint test race
 
@@ -13,9 +13,18 @@ vet:
 	$(GO) vet ./...
 
 # Formatting + static checks; fails listing the unformatted files, if any.
+# astra-lint is the in-tree determinism linter (internal/lint/nodeterm): no
+# time.Now, no global math/rand, no unsorted map iteration in the
+# deterministic core.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/astra-lint
+
+# Plan verifier sweep: prove every model x preset x worker-count
+# combination free of races, deadlocks, aliasing and illegal fusion.
+verify:
+	$(GO) run ./cmd/astra-vet
 
 test:
 	$(GO) test ./...

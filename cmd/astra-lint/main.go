@@ -1,0 +1,88 @@
+// Command astra-lint runs the determinism linter (internal/lint/nodeterm)
+// over the packages whose behaviour must replay bit-identically: the
+// simulated device, the enumerator, the wirer and the multi-worker
+// stepper. It flags wall-clock reads (time.Now), draws from the global
+// math/rand source, and range statements over maps — each a way
+// non-determinism sneaks into schedules, measurements or reports.
+//
+// Usage:
+//
+//	astra-lint                      # lint the default deterministic core
+//	astra-lint internal/obs ...     # lint specific package directories
+//	astra-lint -tests               # include *_test.go files
+//
+// Suppress an intentional site with a justified marker comment:
+//
+//	for k, v := range bindings { // nodeterm:ok order-independent copy
+//
+// Exit status 1 when any finding survives, so `make lint` and CI gate on
+// it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+import "astra/internal/lint/nodeterm"
+
+// defaultDirs is the deterministic core: the packages whose output feeds
+// schedules, measurements or reports.
+var defaultDirs = []string{
+	"internal/gpusim",
+	"internal/wire",
+	"internal/distsim",
+	"internal/enumerate",
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("astra-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tests := fs.Bool("tests", false, "lint *_test.go files too")
+	root := fs.String("root", ".", "module root directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	absRoot, err := filepath.Abs(*root)
+	if err != nil {
+		fmt.Fprintf(stderr, "astra-lint: %v\n", err)
+		return 2
+	}
+	c := nodeterm.NewChecker(absRoot, "astra")
+	c.IncludeTests = *tests
+
+	dirs := fs.Args()
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	total := 0
+	for _, d := range dirs {
+		findings, err := c.CheckDir(filepath.Join(absRoot, d))
+		if err != nil {
+			fmt.Fprintf(stderr, "astra-lint: %s: %v\n", d, err)
+			return 2
+		}
+		for _, f := range findings {
+			// Print paths relative to the root so output is stable across
+			// checkouts.
+			if rel, err := filepath.Rel(absRoot, f.Pos.Filename); err == nil {
+				f.Pos.Filename = rel
+			}
+			fmt.Fprintln(stdout, f)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(stdout, "astra-lint: %d finding(s)\n", total)
+		return 1
+	}
+	return 0
+}

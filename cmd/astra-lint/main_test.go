@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFixture(t *testing.T, root, dir, name, src string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Join(root, dir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlagsFindings(t *testing.T) {
+	root := t.TempDir()
+	writeFixture(t, root, "dirty", "dirty.go", `package dirty
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	var out, errOut strings.Builder
+	code := run([]string{"-root", root, "dirty"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "time-now") || !strings.Contains(got, "1 finding(s)") {
+		t.Errorf("output: %s", got)
+	}
+	// Paths must be root-relative for stable output across checkouts.
+	if strings.Contains(got, root) {
+		t.Errorf("output leaks absolute path: %s", got)
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	root := t.TempDir()
+	writeFixture(t, root, "clean", "clean.go", "package clean\n\nfunc Ok() int { return 1 }\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", root, "clean"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0; stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	root := t.TempDir()
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", root, "missing"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing dir: exit %d, want 2", code)
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// TestRunDefaultDirs lints the real deterministic core exactly as `make
+// lint` does: the tree must stay clean.
+func TestRunDefaultDirs(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-root", "../.."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("deterministic core has findings (exit %d):\n%s%s", code, out.String(), errOut.String())
+	}
+}

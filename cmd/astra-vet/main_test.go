@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildMatrix(t *testing.T) {
+	all, err := buildMatrix("all", "all", "1,2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 models × 4 presets × 3 worker counts.
+	if len(all) != 7*4*3 {
+		t.Fatalf("full matrix has %d cells, want %d", len(all), 7*4*3)
+	}
+	one, err := buildMatrix("scrnn", "Astra_F", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].model != "scrnn" || one[0].workers != 2 {
+		t.Fatalf("single cell: got %+v", one)
+	}
+	for _, bad := range [][3]string{
+		{"nosuch", "all", "1"},
+		{"scrnn", "nosuch", "1"},
+		{"scrnn", "Astra_F", "zero"},
+		{"scrnn", "Astra_F", "0"},
+	} {
+		if _, err := buildMatrix(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("buildMatrix(%q, %q, %q) accepted bad input", bad[0], bad[1], bad[2])
+		}
+	}
+}
+
+func TestVetOneUnknownModel(t *testing.T) {
+	r := vetOne(combo{model: "nosuch"}, 16)
+	if r.OK() {
+		t.Fatal("unknown model verified clean")
+	}
+}
+
+func TestRunSingleCombination(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-model", "scrnn", "-preset", "Astra_F", "-workers", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"ok  ", "scrnn", "PASS", "configuration(s) checked, 0 finding(s)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-model", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown model: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown model") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

@@ -167,9 +167,7 @@ func (ub *unitBuilder) independentSubset(members []*graph.Node) []*graph.Node {
 		out = append(out, m)
 		// Sweep m's forward cone (bounded by the last candidate's ID),
 		// excluding any candidate it reaches.
-		for k := range seen {
-			delete(seen, k)
-		}
+		clear(seen)
 		stack := []*graph.Node{m}
 		seen[m] = true
 		for len(stack) > 0 {
@@ -232,7 +230,7 @@ func (ub *unitBuilder) collectSharedArgCandidates() []candidate {
 		}
 	}
 	buckets := make([]string, 0, len(byBucket))
-	for k := range byBucket {
+	for k := range byBucket { // nodeterm:ok keys sorted below
 		buckets = append(buckets, k)
 	}
 	sort.Strings(buckets)
@@ -248,8 +246,16 @@ func (ub *unitBuilder) collectSharedArgCandidates() []candidate {
 			if side == 1 {
 				kind = SharedRight
 			}
-			for v, ns := range byShared {
-				if len(ns) >= 2 {
+			// Candidate order decides ties in sortCandidates (and thus
+			// which overlapping groups claim first); emit in value-ID
+			// order, never map order.
+			shared := make([]*graph.Value, 0, len(byShared))
+			for v := range byShared { // nodeterm:ok keys sorted below
+				shared = append(shared, v)
+			}
+			sort.Slice(shared, func(i, j int) bool { return shared[i].ID < shared[j].ID })
+			for _, v := range shared {
+				if ns := byShared[v]; len(ns) >= 2 {
 					cands = append(cands, candidate{shared: v, kind: kind, gemms: ns})
 				}
 			}
@@ -620,7 +626,7 @@ func (ub *unitBuilder) buildUnits(ewFusion bool) []*Unit {
 	}
 	chainLast := map[*graph.Node]*graph.Node{} // chain head -> last node
 	chainHead := map[*graph.Node]*graph.Node{} // last node -> chain head
-	for n := range chainNext {
+	for n := range chainNext {                 // nodeterm:ok writes distinct keys; unit emission follows g.Nodes order
 		if chainHasPrev[n] {
 			continue // not a head
 		}

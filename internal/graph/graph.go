@@ -273,14 +273,19 @@ func (g *Graph) addValueWithID(id int, shape tensor.Shape, name string) *Value {
 }
 
 // addNodeWithOutID appends a node whose output keeps an explicit value ID;
-// shape is inferred from the operator, as in AddNode.
-func (g *Graph) addNodeWithOutID(outID int, op Op, prov Provenance, attr Attr, inputs ...*Value) *Value {
-	out := g.addValueWithID(outID, inferShape(op, attr, inputs), "")
+// shape is inferred from the operator. Unlike AddNode it returns an error on
+// operator misuse: the trace parser feeds it untrusted input.
+func (g *Graph) addNodeWithOutID(outID int, op Op, prov Provenance, attr Attr, inputs ...*Value) (*Value, error) {
+	shape, err := InferShape(op, attr, inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := g.addValueWithID(outID, shape, "")
 	n := &Node{ID: g.nextNodeID, Op: op, Inputs: inputs, Out: out, Attr: attr, Prov: prov}
 	g.nextNodeID++
 	out.Producer = n
 	g.Nodes = append(g.Nodes, n)
-	return out
+	return out, nil
 }
 
 // Input declares a per-mini-batch input tensor (e.g. token ids, targets).
@@ -317,136 +322,156 @@ func (g *Graph) AddNode(op Op, prov Provenance, attr Attr, inputs ...*Value) *Va
 	return out
 }
 
+// inferShape is the panicking form of InferShape used by the builder API,
+// where a malformed graph is a programming error in model code under test.
 func inferShape(op Op, attr Attr, in []*Value) tensor.Shape {
-	arity := func(k int) {
-		if len(in) != k {
-			panic(fmt.Sprintf("graph: %v expects %d inputs, got %d", op, k, len(in)))
-		}
+	s, err := InferShape(op, attr, in)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// InferShape computes the output shape of op applied to the given inputs,
+// or an error describing the operator misuse. It is the single source of
+// truth for operator shape semantics: the builder panics on its errors, the
+// trace parser returns them, and the plan verifier re-checks every edge of a
+// finished graph against it.
+func InferShape(op Op, attr Attr, in []*Value) (tensor.Shape, error) {
+	if err := checkArity(op, in); err != nil {
+		return nil, err
 	}
 	switch op {
 	case OpMatMul:
-		arity(2)
 		if in[0].Shape.Cols() != in[1].Shape.Rows() {
-			panic(fmt.Sprintf("graph: mm %v x %v", in[0].Shape, in[1].Shape))
+			return nil, fmt.Errorf("graph: mm %v x %v", in[0].Shape, in[1].Shape)
 		}
-		return tensor.Shape{in[0].Shape.Rows(), in[1].Shape.Cols()}
+		return tensor.Shape{in[0].Shape.Rows(), in[1].Shape.Cols()}, nil
 	case OpAdd, OpSub, OpMul:
-		arity(2)
 		if !in[0].Shape.Equal(in[1].Shape) {
-			panic(fmt.Sprintf("graph: %v shapes %v vs %v", op, in[0].Shape, in[1].Shape))
+			return nil, fmt.Errorf("graph: %v shapes %v vs %v", op, in[0].Shape, in[1].Shape)
 		}
-		return in[0].Shape.Clone()
+		return in[0].Shape.Clone(), nil
 	case OpScale, OpSigmoid, OpTanh, OpReLU, OpSoftmax:
-		arity(1)
-		return in[0].Shape.Clone()
+		return in[0].Shape.Clone(), nil
 	case OpAddBias:
-		arity(2)
 		if in[1].Shape.NumElements() != in[0].Shape.Cols() {
-			panic(fmt.Sprintf("graph: add_bias %v + %v", in[0].Shape, in[1].Shape))
+			return nil, fmt.Errorf("graph: add_bias %v + %v", in[0].Shape, in[1].Shape)
 		}
-		return in[0].Shape.Clone()
+		return in[0].Shape.Clone(), nil
 	case OpConcatCols:
-		if len(in) < 2 {
-			panic("graph: concat_cols needs >=2 inputs")
-		}
 		cols := 0
 		for _, v := range in {
 			if v.Shape.Rows() != in[0].Shape.Rows() {
-				panic("graph: concat_cols row mismatch")
+				return nil, fmt.Errorf("graph: concat_cols row mismatch")
 			}
 			cols += v.Shape.Cols()
 		}
-		return tensor.Shape{in[0].Shape.Rows(), cols}
+		return tensor.Shape{in[0].Shape.Rows(), cols}, nil
 	case OpConcatRows:
-		if len(in) < 2 {
-			panic("graph: concat_rows needs >=2 inputs")
-		}
 		rows := 0
 		for _, v := range in {
 			if v.Shape.Cols() != in[0].Shape.Cols() {
-				panic("graph: concat_rows col mismatch")
+				return nil, fmt.Errorf("graph: concat_rows col mismatch")
 			}
 			rows += v.Shape.Rows()
 		}
-		return tensor.Shape{rows, in[0].Shape.Cols()}
+		return tensor.Shape{rows, in[0].Shape.Cols()}, nil
 	case OpSliceCols:
-		arity(1)
 		if attr.Lo < 0 || attr.Hi > in[0].Shape.Cols() || attr.Lo > attr.Hi {
-			panic(fmt.Sprintf("graph: slice_cols [%d,%d) of %v", attr.Lo, attr.Hi, in[0].Shape))
+			return nil, fmt.Errorf("graph: slice_cols [%d,%d) of %v", attr.Lo, attr.Hi, in[0].Shape)
 		}
-		return tensor.Shape{in[0].Shape.Rows(), attr.Hi - attr.Lo}
+		return tensor.Shape{in[0].Shape.Rows(), attr.Hi - attr.Lo}, nil
 	case OpSliceRows:
-		arity(1)
 		if attr.Lo < 0 || attr.Hi > in[0].Shape.Rows() || attr.Lo > attr.Hi {
-			panic(fmt.Sprintf("graph: slice_rows [%d,%d) of %v", attr.Lo, attr.Hi, in[0].Shape))
+			return nil, fmt.Errorf("graph: slice_rows [%d,%d) of %v", attr.Lo, attr.Hi, in[0].Shape)
 		}
-		return tensor.Shape{attr.Hi - attr.Lo, in[0].Shape.Cols()}
+		return tensor.Shape{attr.Hi - attr.Lo, in[0].Shape.Cols()}, nil
 	case OpTranspose:
-		arity(1)
-		return tensor.Shape{in[0].Shape.Cols(), in[0].Shape.Rows()}
+		return tensor.Shape{in[0].Shape.Cols(), in[0].Shape.Rows()}, nil
 	case OpLookup:
-		arity(2)
-		return tensor.Shape{in[1].Shape.NumElements(), in[0].Shape.Cols()}
+		return tensor.Shape{in[1].Shape.NumElements(), in[0].Shape.Cols()}, nil
 	case OpCrossEntropy:
-		arity(2)
-		return tensor.Shape{1, 1}
+		return tensor.Shape{1, 1}, nil
 	case OpSumRows:
-		arity(1)
-		return tensor.Shape{1, in[0].Shape.Cols()}
+		return tensor.Shape{1, in[0].Shape.Cols()}, nil
 	case OpSigmoidGrad, OpTanhGrad, OpReLUGrad:
-		arity(2)
 		if !in[0].Shape.Equal(in[1].Shape) {
-			panic(fmt.Sprintf("graph: %v shapes %v vs %v", op, in[0].Shape, in[1].Shape))
+			return nil, fmt.Errorf("graph: %v shapes %v vs %v", op, in[0].Shape, in[1].Shape)
 		}
-		return in[0].Shape.Clone()
+		return in[0].Shape.Clone(), nil
 	case OpCrossEntropyGrad:
-		arity(2)
-		return in[0].Shape.Clone()
+		return in[0].Shape.Clone(), nil
 	case OpLookupGrad:
-		arity(2)
-		return tensor.Shape{attr.N, in[1].Shape.Cols()}
+		if attr.N <= 0 {
+			return nil, fmt.Errorf("graph: lookup_grad table rows n=%d", attr.N)
+		}
+		return tensor.Shape{attr.N, in[1].Shape.Cols()}, nil
 	case OpSoftmaxGrad:
-		arity(2)
 		if !in[0].Shape.Equal(in[1].Shape) {
-			panic(fmt.Sprintf("graph: softmax_grad shapes %v vs %v", in[0].Shape, in[1].Shape))
+			return nil, fmt.Errorf("graph: softmax_grad shapes %v vs %v", in[0].Shape, in[1].Shape)
 		}
-		return in[0].Shape.Clone()
+		return in[0].Shape.Clone(), nil
 	case OpPadCols:
-		arity(1)
 		if attr.Lo < 0 || attr.Lo+in[0].Shape.Cols() > attr.N {
-			panic(fmt.Sprintf("graph: pad_cols lo=%d n=%d of %v", attr.Lo, attr.N, in[0].Shape))
+			return nil, fmt.Errorf("graph: pad_cols lo=%d n=%d of %v", attr.Lo, attr.N, in[0].Shape)
 		}
-		return tensor.Shape{in[0].Shape.Rows(), attr.N}
+		return tensor.Shape{in[0].Shape.Rows(), attr.N}, nil
 	case OpPadRows:
-		arity(1)
 		if attr.Lo < 0 || attr.Lo+in[0].Shape.Rows() > attr.N {
-			panic(fmt.Sprintf("graph: pad_rows lo=%d n=%d of %v", attr.Lo, attr.N, in[0].Shape))
+			return nil, fmt.Errorf("graph: pad_rows lo=%d n=%d of %v", attr.Lo, attr.N, in[0].Shape)
 		}
-		return tensor.Shape{attr.N, in[0].Shape.Cols()}
+		return tensor.Shape{attr.N, in[0].Shape.Cols()}, nil
 	case OpBroadcastRows:
-		arity(1)
 		if in[0].Shape.Rows() != 1 {
-			panic(fmt.Sprintf("graph: broadcast_rows of %v", in[0].Shape))
+			return nil, fmt.Errorf("graph: broadcast_rows of %v", in[0].Shape)
 		}
-		return tensor.Shape{attr.N, in[0].Shape.Cols()}
+		return tensor.Shape{attr.N, in[0].Shape.Cols()}, nil
 	case OpScaleCols:
-		arity(2)
 		if in[1].Shape.Cols() != 1 || in[1].Shape.Rows() != in[0].Shape.Rows() {
-			panic(fmt.Sprintf("graph: scale_cols %v by %v", in[0].Shape, in[1].Shape))
+			return nil, fmt.Errorf("graph: scale_cols %v by %v", in[0].Shape, in[1].Shape)
 		}
-		return in[0].Shape.Clone()
+		return in[0].Shape.Clone(), nil
 	case OpRowSums:
-		arity(1)
-		return tensor.Shape{in[0].Shape.Rows(), 1}
+		return tensor.Shape{in[0].Shape.Rows(), 1}, nil
 	case OpBroadcastCols:
-		arity(1)
 		if in[0].Shape.Cols() != 1 {
-			panic(fmt.Sprintf("graph: broadcast_cols of %v", in[0].Shape))
+			return nil, fmt.Errorf("graph: broadcast_cols of %v", in[0].Shape)
 		}
-		return tensor.Shape{in[0].Shape.Rows(), attr.N}
+		return tensor.Shape{in[0].Shape.Rows(), attr.N}, nil
 	default:
-		panic(fmt.Sprintf("graph: inferShape for %v", op))
+		return nil, fmt.Errorf("graph: InferShape for %v", op)
 	}
+}
+
+// checkArity validates the input count for an operator.
+func checkArity(op Op, in []*Value) error {
+	want := -1 // -1: variadic with a minimum of 2 (the concats)
+	switch op {
+	case OpScale, OpSigmoid, OpTanh, OpReLU, OpSoftmax, OpSliceCols, OpSliceRows,
+		OpTranspose, OpSumRows, OpPadCols, OpPadRows, OpBroadcastRows, OpRowSums,
+		OpBroadcastCols:
+		want = 1
+	case OpMatMul, OpAdd, OpSub, OpMul, OpAddBias, OpLookup, OpCrossEntropy,
+		OpSigmoidGrad, OpTanhGrad, OpReLUGrad, OpCrossEntropyGrad, OpLookupGrad,
+		OpSoftmaxGrad, OpScaleCols:
+		want = 2
+	}
+	if want < 0 {
+		if len(in) < 2 {
+			return fmt.Errorf("graph: %v needs >=2 inputs, got %d", op, len(in))
+		}
+		return nil
+	}
+	if len(in) != want {
+		return fmt.Errorf("graph: %v expects %d inputs, got %d", op, want, len(in))
+	}
+	for _, v := range in {
+		if v == nil {
+			return fmt.Errorf("graph: %v with nil input", op)
+		}
+	}
+	return nil
 }
 
 // Consumers returns, for every value, the nodes that read it, in node order.
@@ -491,7 +516,10 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("graph: node %d (%s) reads %s before it is defined", i, n, in)
 			}
 		}
-		want := inferShape(n.Op, n.Attr, n.Inputs)
+		want, err := InferShape(n.Op, n.Attr, n.Inputs)
+		if err != nil {
+			return fmt.Errorf("graph: node %d (%s): %w", i, n, err)
+		}
 		if !want.Equal(n.Out.Shape) {
 			return fmt.Errorf("graph: node %d (%s) output shape %v, want %v", i, n, n.Out.Shape, want)
 		}

@@ -166,6 +166,9 @@ func ParseTrace(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fail(err.Error())
 			}
+			if byID[id] == nil {
+				return nil, fail(fmt.Sprintf("loss references undefined %%%d", id))
+			}
 			g.Loss = byID[id]
 		case strings.HasPrefix(line, "grad "):
 			fields := strings.Fields(line[5:])
@@ -176,6 +179,9 @@ func ParseTrace(r io.Reader) (*Graph, error) {
 			gid, err2 := parseValueRef(fields[1])
 			if err1 != nil || err2 != nil {
 				return nil, fail("bad grad refs")
+			}
+			if byID[pid] == nil || byID[gid] == nil {
+				return nil, fail("grad references undefined value")
 			}
 			g.Grads[byID[pid]] = byID[gid]
 		case strings.HasPrefix(line, "%"):
@@ -331,7 +337,10 @@ func parseNodeLine(g *Graph, byID map[int]*Value, line string) error {
 	if byID[outID] != nil {
 		return fmt.Errorf("value %%%d redefined", outID)
 	}
-	out := g.addNodeWithOutID(outID, op, prov, attr, inputs...)
+	out, err := g.addNodeWithOutID(outID, op, prov, attr, inputs...)
+	if err != nil {
+		return err
+	}
 	byID[outID] = out
 	return nil
 }

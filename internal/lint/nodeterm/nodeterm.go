@@ -1,0 +1,273 @@
+// Package nodeterm is Astra's determinism linter. The whole reproduction
+// rests on bit-identical replay — the simulated device, the enumerator and
+// the explorer must produce the same schedule and the same measurements on
+// every run — so the runtime packages must not consult wall-clock time, the
+// global (unseeded) math/rand source, or Go's randomized map iteration
+// order where the order can leak into results.
+//
+// Three rules, checked with go/types over the package source (no external
+// analysis framework, so the linter builds with the stdlib alone):
+//
+//   - time-now: any call to time.Now. Simulated time lives on the session
+//     clock; wall-clock reads make traces and reports non-reproducible.
+//   - global-rand: package-level math/rand calls (rand.Intn, rand.Float64,
+//     …), which draw from the global, seed-racy source. Deterministic code
+//     threads an explicit *rand.Rand from rand.New(rand.NewSource(seed)).
+//   - map-range: a range statement over a map value. Go randomizes the
+//     order on purpose; ranging is only safe when the body is provably
+//     order-independent, which the linter cannot see — sort the keys, or
+//     suppress with a justification.
+//
+// A finding is suppressed by a comment containing "nodeterm:ok" on the
+// flagged line or the line above, conventionally with a reason:
+//
+//	for k, v := range bindings { // nodeterm:ok order-independent copy
+package nodeterm
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one determinism violation.
+type Finding struct {
+	Pos     token.Position
+	Rule    string // "time-now", "global-rand" or "map-range"
+	Message string
+}
+
+// String renders the finding in the file:line:col: style editors understand.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// Checker lints packages of one module. It owns the file set and the
+// memoized type-checked imports, so linting several packages shares work.
+type Checker struct {
+	// Root is the module root directory; ModulePath its import path prefix
+	// (e.g. "astra").
+	Root       string
+	ModulePath string
+	// IncludeTests lints *_test.go files too (off by default: tests may
+	// range maps freely — they assert, they don't schedule).
+	IncludeTests bool
+
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+	std  types.Importer
+}
+
+// NewChecker prepares a checker for the module rooted at root.
+func NewChecker(root, modulePath string) *Checker {
+	return &Checker{
+		Root:       root,
+		ModulePath: modulePath,
+		fset:       token.NewFileSet(),
+		pkgs:       map[string]*types.Package{},
+	}
+}
+
+// CheckDir lints one package directory and returns its findings sorted by
+// position. Type-check errors in imports are tolerated where possible; an
+// unparseable target package is an error.
+func (c *Checker) CheckDir(dir string) ([]Finding, error) {
+	files, err := c.parseDir(dir, c.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: c,
+		// The linter reads types, it does not gate the build: collect
+		// everything it can even if an import fails to fully check.
+		Error: func(error) {},
+	}
+	path := c.importPathFor(dir)
+	_, _ = conf.Check(path, c.fset, files, info)
+
+	var out []Finding
+	for _, f := range files {
+		ok := suppressedLines(c.fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fnd, hit := c.checkCall(n, info); hit && !ok[fnd.Pos.Line] {
+					out = append(out, fnd)
+				}
+			case *ast.RangeStmt:
+				if fnd, hit := c.checkRange(n, info); hit && !ok[fnd.Pos.Line] {
+					out = append(out, fnd)
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// checkCall flags time.Now and package-level math/rand calls.
+func (c *Checker) checkCall(call *ast.CallExpr, info *types.Info) (Finding, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return Finding{}, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return Finding{}, false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return Finding{}, false
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if sel.Sel.Name == "Now" {
+			return Finding{
+				Pos:     c.fset.Position(call.Pos()),
+				Rule:    "time-now",
+				Message: "time.Now breaks replay; use the session's simulated clock",
+			}, true
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors of explicit sources are the fix, not the bug.
+		if sel.Sel.Name == "New" || sel.Sel.Name == "NewSource" || sel.Sel.Name == "NewPCG" || sel.Sel.Name == "NewZipf" {
+			return Finding{}, false
+		}
+		return Finding{
+			Pos:     c.fset.Position(call.Pos()),
+			Rule:    "global-rand",
+			Message: fmt.Sprintf("rand.%s uses the global source; thread a *rand.Rand from rand.New(rand.NewSource(seed))", sel.Sel.Name),
+		}, true
+	}
+	return Finding{}, false
+}
+
+// checkRange flags range statements over map values.
+func (c *Checker) checkRange(rng *ast.RangeStmt, info *types.Info) (Finding, bool) {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return Finding{}, false
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return Finding{}, false
+	}
+	return Finding{
+		Pos:     c.fset.Position(rng.Pos()),
+		Rule:    "map-range",
+		Message: fmt.Sprintf("range over map %s iterates in randomized order; sort the keys or justify with nodeterm:ok", types.TypeString(tv.Type, nil)),
+	}, true
+}
+
+// suppressedLines collects the line numbers a nodeterm:ok comment covers:
+// the comment's own line and the one below it (so the marker can sit on the
+// flagged line or just above).
+func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, cmt := range cg.List {
+			if !strings.Contains(cmt.Text, "nodeterm:ok") {
+				continue
+			}
+			line := fset.Position(cmt.Pos()).Line
+			out[line] = true
+			out[line+1] = true
+		}
+	}
+	return out
+}
+
+// Import implements types.Importer: module-local paths type-check from
+// source under Root (go/build knows nothing about this module's layout);
+// everything else — in practice the stdlib — delegates to the stdlib
+// source importer, which honours build constraints.
+func (c *Checker) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if path != c.ModulePath && !strings.HasPrefix(path, c.ModulePath+"/") {
+		if c.std == nil {
+			c.std = importer.ForCompiler(c.fset, "source", nil)
+		}
+		pkg, err := c.std.Import(path)
+		if pkg != nil {
+			c.pkgs[path] = pkg
+		}
+		return pkg, err
+	}
+	dir := c.Root
+	if path != c.ModulePath {
+		dir = filepath.Join(c.Root, filepath.FromSlash(strings.TrimPrefix(path, c.ModulePath+"/")))
+	}
+	files, err := c.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("nodeterm: no Go files for %q in %s", path, dir)
+	}
+	conf := types.Config{Importer: c, Error: func(error) {}}
+	pkg, err := conf.Check(path, c.fset, files, nil)
+	if pkg != nil {
+		// Memoize even a partially checked package: the linter only reads
+		// identities and map-ness, which survive most downstream errors.
+		c.pkgs[path] = pkg
+	}
+	return pkg, err
+}
+
+// importPathFor inverts dirFor for a directory under Root.
+func (c *Checker) importPathFor(dir string) string {
+	rel, err := filepath.Rel(c.Root, dir)
+	if err != nil || rel == "." {
+		return c.ModulePath
+	}
+	return c.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// parseDir parses the buildable Go files of one directory.
+func (c *Checker) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(c.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -1,0 +1,114 @@
+package nodeterm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const fixture = `package pkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Bad() int {
+	t := time.Now().Nanosecond() // finding: time-now
+	n := rand.Intn(10)           // finding: global-rand
+	m := map[string]int{"a": 1}
+	s := 0
+	for _, v := range m { // finding: map-range
+		s += v
+	}
+	for _, v := range m { // nodeterm:ok summing is commutative
+		s += v
+	}
+	// nodeterm:ok marker on the preceding line also suppresses
+	for _, v := range m {
+		s += v
+	}
+	r := rand.New(rand.NewSource(1)) // ok: explicit seeded source
+	return t + n + s + r.Intn(3)     // ok: method on *rand.Rand, not the package
+}
+`
+
+func TestCheckerFindsAndSuppresses(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "pkg")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pkg.go"), []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(root, "m")
+	findings, err := c.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"time-now", "global-rand", "map-range"}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d: %v", len(findings), len(want), findings)
+	}
+	for i, rule := range want {
+		if findings[i].Rule != rule {
+			t.Errorf("finding %d: rule %s, want %s (%s)", i, findings[i].Rule, rule, findings[i])
+		}
+	}
+}
+
+func TestCheckerSkipsTestFilesByDefault(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "pkg")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	clean := "package pkg\n\nfunc Ok() int { return 1 }\n"
+	dirty := "package pkg\n\nfunc Sum(m map[string]int) int {\n\ts := 0\n\tfor _, v := range m {\n\t\ts += v\n\t}\n\treturn s\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "pkg.go"), []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pkg_test.go"), []byte(dirty), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(root, "m")
+	findings, err := c.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("test file linted by default: %v", findings)
+	}
+	c2 := NewChecker(root, "m")
+	c2.IncludeTests = true
+	findings, err = c2.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Rule != "map-range" {
+		t.Fatalf("IncludeTests: got %v, want one map-range finding", findings)
+	}
+}
+
+// TestCheckerOnRealPackage smoke-checks the module-local importer path: the
+// wire package imports enumerate, gpusim, graph and friends, all of which
+// must resolve through the custom importer for range-over-map types to be
+// known.
+func TestCheckerOnRealPackage(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(root, "astra")
+	findings, err := c.CheckDir(filepath.Join(root, "internal", "wire"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tree is kept lint-clean; what matters here is that the checker
+	// resolved the package without error. Any findings mean a regression
+	// either in wire or in the checker itself.
+	if len(findings) != 0 {
+		t.Errorf("internal/wire has findings: %v", findings)
+	}
+}

@@ -109,6 +109,26 @@ func (s *Strategy) String() string {
 	return fmt.Sprintf("%s{%s}", s.Name, strings.Join(s.SatisfiedIDs(), ","))
 }
 
+// ManualStrategy builds a strategy from explicit placements. The planner
+// never produces overlapping or misaligned layouts; this constructor exists
+// so the verifier's mutation tests can assemble deliberately corrupted
+// strategies and prove the aliasing and contiguity analyses detect them.
+func ManualStrategy(name string, satisfied []string, offsets map[*graph.Value]int64, totalSize int64) *Strategy {
+	s := &Strategy{
+		Name:      name,
+		Satisfied: make(map[string]bool, len(satisfied)),
+		offsets:   make(map[*graph.Value]int64, len(offsets)),
+		totalSize: totalSize,
+	}
+	for _, id := range satisfied {
+		s.Satisfied[id] = true
+	}
+	for v, off := range offsets {
+		s.offsets[v] = off
+	}
+	return s
+}
+
 // Planner builds allocation strategies for a graph's contiguity requests.
 type Planner struct {
 	// MaxStrategies bounds the fork width of the allocation dimension so

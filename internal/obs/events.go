@@ -49,6 +49,10 @@ type TrialEvent struct {
 	Workers  int       `json:"workers,omitempty"`
 	CommUs   float64   `json:"comm_us,omitempty"`
 	WorkerUs []float64 `json:"worker_us,omitempty"`
+	// VerifyFindings lists plan-verifier findings first surfaced by this
+	// batch's configuration (rendered one per line); empty when the
+	// binding verified clean or was already checked.
+	VerifyFindings []string `json:"verify_findings,omitempty"`
 }
 
 // EventLog writes TrialEvents as JSON Lines. The zero sink is valid: Emit

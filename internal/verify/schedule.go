@@ -1,0 +1,448 @@
+package verify
+
+import (
+	"fmt"
+	"strconv"
+
+	"astra/internal/enumerate"
+	"astra/internal/memory"
+)
+
+// Spec fixes the schedule parameters that live outside the plan's adaptive
+// variables, mirroring wire.RunnerConfig / wire.CommConfig.
+type Spec struct {
+	// Workers is the data-parallel degree; below 2 the schedule has no
+	// gradient exchange.
+	Workers int
+	// BucketKB is the gradient-bucket cap used when the plan has no
+	// comm.bucket_kb variable (0 = one bucket for everything).
+	BucketKB int
+	// Placement is the comm placement used when the plan has no comm.place
+	// variable ("comm" or "main"; empty means "comm").
+	Placement string
+	// MaxFusion pins groups at their maximal chunk when the plan has no
+	// chunk variables (the static-fusion baseline policy).
+	MaxFusion bool
+}
+
+// OpKind classifies symbolic schedule operations.
+type OpKind int
+
+// Schedule operation kinds.
+const (
+	// OpKernel is a compute or communication kernel launch.
+	OpKernel OpKind = iota
+	// OpCopy is a gather copy staging a fused chunk's operands.
+	OpCopy
+	// OpRecord records a synchronization event on its stream.
+	OpRecord
+	// OpWait makes its stream wait for an event recorded elsewhere.
+	OpWait
+	// OpEnd marks the end of the batch on stream 0.
+	OpEnd
+)
+
+// Op is one operation in a stream's FIFO program.
+type Op struct {
+	Kind OpKind
+	Name string
+	// Event is the identifier an OpRecord defines and an OpWait awaits.
+	Event int
+	// Unit attributes compute kernels and copies to their schedule unit.
+	Unit *enumerate.Unit
+	// Group and Members describe fused GEMM chunks (Members >= 2) and the
+	// gather copies staged for them.
+	Group   *enumerate.FusionGroup
+	Members int
+	// Bucket indexes the comm bucket a ring step belongs to; -1 otherwise.
+	Bucket int
+}
+
+// Bucket is one gradient bucket of the symbolic schedule.
+type Bucket struct {
+	Bytes int64
+	Grads int
+	// Units are the distinct schedule units producing this bucket's
+	// gradients, in dispatch order.
+	Units []*enumerate.Unit
+}
+
+// Pos addresses one op in the schedule.
+type Pos struct{ Stream, Index int }
+
+// Schedule is the symbolic multi-stream program for one configuration: the
+// exact sequence of kernels, gather copies, and RecordEvent/WaitEvent edges
+// the custom-wirer would issue for the plan's current variable bindings.
+// It captures the binding-dependent context (allocation strategy, bucket
+// cap) so the analyses check the schedule against what it was built for.
+type Schedule struct {
+	Streams [][]Op
+	// NumEvents counts the synchronization events recorded.
+	NumEvents int
+	// Alloc is the allocation strategy active when the schedule was built.
+	Alloc *memory.Strategy
+	// Buckets, CommStream, Workers and BucketCapBytes describe the gradient
+	// exchange (Buckets is nil when the schedule has none).
+	Buckets        []Bucket
+	CommStream     int
+	Workers        int
+	BucketCapBytes int64
+	// FirstOp and LastOp locate each unit's first and last issued op.
+	FirstOp, LastOp map[*enumerate.Unit]Pos
+}
+
+// scheduleBuilder mirrors wire.Runner's dispatch, emitting symbolic ops
+// instead of launching simulated kernels. Any divergence between this walk
+// and the runner's is itself a bug the verifier's checks would surface (a
+// race the runner synchronizes, or a copy it inserts, would show up here as
+// a finding on a clean plan).
+type scheduleBuilder struct {
+	p    *enumerate.Plan
+	spec Spec
+	s    *Schedule
+
+	eventSeq    int
+	usedStreams map[int]bool
+	prevEvents  []int
+	prevStreams []int
+	// barrierEvents holds the latest super-epoch barrier's records; a
+	// stream first used after the barrier waits on them (the barrier's
+	// all-pairs synchronization only covered the streams used so far).
+	barrierEvents  []int
+	barrierStreams []int
+	unitStream     map[*enumerate.Unit]int
+	// comm bucketing state
+	atUnit map[*enumerate.Unit][]int
+}
+
+// BuildSchedule constructs the symbolic schedule for the plan's current
+// variable bindings under the given spec.
+func BuildSchedule(p *enumerate.Plan, spec Spec) *Schedule {
+	b := &scheduleBuilder{
+		p:           p,
+		spec:        spec,
+		usedStreams: map[int]bool{0: true},
+		unitStream:  map[*enumerate.Unit]int{},
+		atUnit:      map[*enumerate.Unit][]int{},
+	}
+	compute := 1
+	if p.Opts.StreamAdapt {
+		compute = p.Opts.NumStreams
+	}
+	total := compute
+	commEnabled := spec.Workers >= 2 && len(p.Grads) > 0
+	commStream := -1
+	if commEnabled {
+		commStream = compute
+		total = compute + 1
+	}
+	b.s = &Schedule{
+		Streams:    make([][]Op, total),
+		Alloc:      p.Alloc(),
+		CommStream: commStream,
+		Workers:    spec.Workers,
+		FirstOp:    map[*enumerate.Unit]Pos{},
+		LastOp:     map[*enumerate.Unit]Pos{},
+	}
+	if commEnabled {
+		b.prepareComm()
+	}
+	for _, se := range p.Supers {
+		for _, ep := range se.Epochs {
+			b.dispatchEpoch(ep)
+		}
+		b.superEpochBarrier()
+	}
+	if commEnabled && b.commStreamIdx() != 0 {
+		done := b.record(b.commStreamIdx())
+		b.wait(0, done)
+	}
+	b.emit(0, Op{Kind: OpEnd, Name: "batch-end", Bucket: -1})
+	return b.s
+}
+
+func (b *scheduleBuilder) emit(stream int, op Op) Pos {
+	pos := Pos{Stream: stream, Index: len(b.s.Streams[stream])}
+	b.s.Streams[stream] = append(b.s.Streams[stream], op)
+	if op.Unit != nil && (op.Kind == OpKernel || op.Kind == OpCopy) {
+		if _, ok := b.s.FirstOp[op.Unit]; !ok {
+			b.s.FirstOp[op.Unit] = pos
+		}
+		b.s.LastOp[op.Unit] = pos
+	}
+	return pos
+}
+
+func (b *scheduleBuilder) record(stream int) int {
+	ev := b.eventSeq
+	b.eventSeq++
+	b.s.NumEvents++
+	b.emit(stream, Op{Kind: OpRecord, Name: fmt.Sprintf("record e%d", ev), Event: ev, Bucket: -1})
+	return ev
+}
+
+func (b *scheduleBuilder) wait(stream, ev int) {
+	b.emit(stream, Op{Kind: OpWait, Name: fmt.Sprintf("wait e%d", ev), Event: ev, Bucket: -1})
+}
+
+func (b *scheduleBuilder) kernel(stream int, op Op) {
+	b.emit(stream, op)
+}
+
+func (b *scheduleBuilder) multiStream() bool {
+	return b.p.Opts.StreamAdapt && b.p.Opts.NumStreams >= 2
+}
+
+func (b *scheduleBuilder) commStreamIdx() int {
+	// Comm kernels run on the dedicated stream or stream 0, per placement.
+	if b.placement() == "comm" {
+		return b.s.CommStream
+	}
+	return 0
+}
+
+func (b *scheduleBuilder) placement() string {
+	if v := b.p.CommPlaceVar; v != nil {
+		return v.CurrentLabel()
+	}
+	if b.spec.Placement != "" {
+		return b.spec.Placement
+	}
+	return "comm"
+}
+
+func (b *scheduleBuilder) bucketCapBytes() int64 {
+	if v := b.p.CommBucketVar; v != nil {
+		label := v.CurrentLabel()
+		if label == "all" {
+			return 0
+		}
+		kb, err := strconv.ParseInt(label, 10, 64)
+		if err != nil || kb <= 0 {
+			return 0
+		}
+		return kb * 1024
+	}
+	return int64(b.spec.BucketKB) * 1024
+}
+
+// prepareComm packs gradients into buckets in dispatch order, mirroring the
+// wirer: a bucket closes when its payload reaches the cap, and fires once
+// its last producing unit has dispatched.
+func (b *scheduleBuilder) prepareComm() {
+	capBytes := b.bucketCapBytes()
+	b.s.BucketCapBytes = capBytes
+	var cur Bucket
+	var lastUnit *enumerate.Unit
+	flush := func() {
+		if cur.Grads == 0 {
+			return
+		}
+		b.atUnit[lastUnit] = append(b.atUnit[lastUnit], len(b.s.Buckets))
+		b.s.Buckets = append(b.s.Buckets, cur)
+		cur = Bucket{}
+		lastUnit = nil
+	}
+	for _, g := range b.p.Grads {
+		cur.Bytes += g.Bytes
+		cur.Grads++
+		if len(cur.Units) == 0 || cur.Units[len(cur.Units)-1] != g.Unit {
+			cur.Units = append(cur.Units, g.Unit)
+		}
+		lastUnit = g.Unit
+		if capBytes > 0 && cur.Bytes >= capBytes {
+			flush()
+		}
+	}
+	flush()
+}
+
+// streamAssignment mirrors wire.Runner.streamAssignment: each class
+// variable says how many of the class's units move off stream 0, spread
+// round-robin over the auxiliary streams.
+func (b *scheduleBuilder) streamAssignment(ep *enumerate.Epoch) map[*enumerate.Unit]int {
+	out := map[*enumerate.Unit]int{}
+	if !b.multiStream() {
+		for _, u := range ep.Units {
+			out[u] = 0
+		}
+		return out
+	}
+	aux := b.p.Opts.NumStreams - 1
+	for _, cls := range ep.Classes {
+		v := b.p.StreamVars[cls]
+		k := 0
+		if v != nil {
+			k, _ = strconv.Atoi(v.CurrentLabel())
+		}
+		for i, u := range cls.Units {
+			if i < k {
+				out[u] = 1 + i%aux
+			} else {
+				out[u] = 0
+			}
+		}
+	}
+	return out
+}
+
+func (b *scheduleBuilder) dispatchEpoch(ep *enumerate.Epoch) {
+	assign := b.streamAssignment(ep)
+	waited := map[int]bool{}
+	ensureOrdered := func(stream int) {
+		if waited[stream] {
+			return
+		}
+		waited[stream] = true
+		if !b.usedStreams[stream] {
+			for i, ev := range b.barrierEvents {
+				if b.barrierStreams[i] != stream {
+					b.wait(stream, ev)
+				}
+			}
+		}
+		for i, ev := range b.prevEvents {
+			if b.prevStreams[i] != stream {
+				b.wait(stream, ev)
+			}
+		}
+	}
+	streamsUsed := map[int]bool{}
+	for _, u := range ep.Units {
+		stream := assign[u]
+		ensureOrdered(stream)
+		streamsUsed[stream] = true
+		b.usedStreams[stream] = true
+		b.unitStream[u] = stream
+		b.dispatchUnit(u, stream)
+		for _, bi := range b.atUnit[u] {
+			b.launchBucket(bi)
+		}
+	}
+	if b.multiStream() {
+		b.prevEvents = b.prevEvents[:0]
+		b.prevStreams = b.prevStreams[:0]
+		for s := 0; s < b.p.Opts.NumStreams; s++ {
+			if !streamsUsed[s] {
+				continue
+			}
+			ev := b.record(s)
+			b.prevEvents = append(b.prevEvents, ev)
+			b.prevStreams = append(b.prevStreams, s)
+		}
+	}
+}
+
+// superEpochBarrier mirrors the wirer's all-pairs force synchronization of
+// the used compute streams (the comm stream deliberately stays out, exactly
+// as in the runner: syncing the exchange at every barrier would serialize
+// it behind compute again).
+func (b *scheduleBuilder) superEpochBarrier() {
+	if !b.multiStream() {
+		return
+	}
+	streams := make([]int, 0, len(b.usedStreams))
+	for s := range b.usedStreams {
+		streams = append(streams, s)
+	}
+	// Sorted for determinism, matching the runner.
+	for i := 1; i < len(streams); i++ {
+		for j := i; j > 0 && streams[j] < streams[j-1]; j-- {
+			streams[j], streams[j-1] = streams[j-1], streams[j]
+		}
+	}
+	evs := make([]int, len(streams))
+	for i, s := range streams {
+		evs[i] = b.record(s)
+	}
+	for i, s := range streams {
+		for j, ev := range evs {
+			if j == i {
+				continue
+			}
+			b.wait(s, ev)
+		}
+	}
+	b.prevEvents = nil
+	b.prevStreams = nil
+	b.barrierEvents = append(b.barrierEvents[:0], evs...)
+	b.barrierStreams = append(b.barrierStreams[:0], streams...)
+}
+
+func (b *scheduleBuilder) chunkSize(u *enumerate.Unit) int {
+	if v := b.p.ChunkVars[u.Group]; v != nil {
+		c, err := strconv.Atoi(v.CurrentLabel())
+		if err != nil || c < 1 {
+			return 1
+		}
+		return c
+	}
+	if b.spec.MaxFusion {
+		return len(u.Group.GEMMs)
+	}
+	return 1
+}
+
+func (b *scheduleBuilder) dispatchUnit(u *enumerate.Unit, stream int) {
+	switch u.Kind {
+	case enumerate.UnitSingle:
+		b.kernel(stream, Op{Name: u.Nodes[0].Op.String(), Unit: u, Bucket: -1})
+	case enumerate.UnitEWChain:
+		b.kernel(stream, Op{Name: fmt.Sprintf("ew-chain[%d]", len(u.Nodes)), Unit: u, Bucket: -1})
+	case enumerate.UnitGEMMGroup:
+		b.dispatchGroup(u, stream)
+	}
+}
+
+func (b *scheduleBuilder) dispatchGroup(u *enumerate.Unit, stream int) {
+	grp := u.Group
+	chunk := b.chunkSize(u)
+	contiguous := grp.ReqID != "" && b.s.Alloc.Contiguous(grp.ReqID)
+	n := len(grp.GEMMs)
+	numChunks := (n + chunk - 1) / chunk
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		members := hi - lo
+		if members == 1 {
+			b.kernel(stream, Op{Name: "gemm", Unit: u, Bucket: -1})
+			continue
+		}
+		if !contiguous {
+			b.kernel(stream, Op{Kind: OpCopy, Name: "gather " + grp.ID, Unit: u, Group: grp, Members: members, Bucket: -1})
+		}
+		b.kernel(stream, Op{Name: "fused-gemm " + grp.ID, Unit: u, Group: grp, Members: members, Bucket: -1})
+	}
+	if grp.Kind == enumerate.Ladder && numChunks > 1 {
+		for i := 0; i < numChunks-1; i++ {
+			b.kernel(stream, Op{Name: "add", Unit: u, Bucket: -1})
+		}
+	}
+}
+
+// launchBucket issues one bucket's ring all-reduce: a readiness event on
+// every stream that produced one of the bucket's gradients, cross-stream
+// waits onto the comm stream, then 2·(n−1) ring step kernels.
+func (b *scheduleBuilder) launchBucket(idx int) {
+	bkt := b.s.Buckets[idx]
+	cs := b.commStreamIdx()
+	seen := map[int]bool{}
+	for _, u := range bkt.Units {
+		s, ok := b.unitStream[u]
+		if !ok || seen[s] {
+			continue
+		}
+		seen[s] = true
+		ev := b.record(s)
+		if cs != s {
+			b.wait(cs, ev)
+		}
+	}
+	steps := 2 * (b.spec.Workers - 1)
+	for k := 0; k < steps; k++ {
+		b.emit(cs, Op{Kind: OpKernel, Name: fmt.Sprintf("allreduce.b%d.s%d", idx, k), Bucket: idx})
+	}
+}

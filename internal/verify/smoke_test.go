@@ -1,0 +1,25 @@
+package verify
+
+import (
+	"testing"
+
+	"astra/internal/enumerate"
+	"astra/internal/models"
+)
+
+func TestSmokeSCRNNAllPreset(t *testing.T) {
+	build, ok := models.Get("scrnn")
+	if !ok {
+		t.Fatal("scrnn not registered")
+	}
+	m := build(models.DefaultConfig("scrnn", 16))
+	opts := enumerate.PresetOptions(enumerate.PresetAll)
+	opts.CommAdapt = true
+	opts.Workers = 2
+	p := enumerate.Enumerate(m.G, opts)
+	r := VerifyPlan(p, Spec{Workers: 2})
+	for _, f := range r.Findings {
+		t.Errorf("finding: %s", f)
+	}
+	t.Logf("checked %d configs", r.Configs)
+}

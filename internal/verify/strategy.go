@@ -1,0 +1,85 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"astra/internal/graph"
+	"astra/internal/memory"
+)
+
+// CheckStrategy verifies one allocation strategy against the graph's values
+// and the contiguity requests it claims to satisfy: every value is placed
+// inside the arena, no two buffers overlap (the training graph is static,
+// so every buffer is live for the whole batch — any overlap is aliasing),
+// and every satisfied request's block really is contiguous, members packed
+// back-to-back in request order.
+func CheckStrategy(s *memory.Strategy, values []*graph.Value, requests []memory.Request) *Report {
+	r := &Report{}
+	if s == nil {
+		r.Add("alloc.place", "", "nil strategy")
+		return r
+	}
+
+	type block struct {
+		v      *graph.Value
+		lo, hi int64
+	}
+	var blocks []block
+	for _, v := range values {
+		off, ok := s.Offset(v)
+		if !ok {
+			r.Add("alloc.place", "", fmt.Sprintf("strategy %s places no buffer for %s", s.Name, v))
+			continue
+		}
+		bytes := int64(v.Shape.NumElements()) * 8
+		if off < 0 || off+bytes > s.ArenaSize() {
+			r.Add("alloc.place", "", fmt.Sprintf("strategy %s places %s at [%d,%d) outside arena of %d bytes", s.Name, v, off, off+bytes, s.ArenaSize()))
+		}
+		if bytes > 0 {
+			blocks = append(blocks, block{v: v, lo: off, hi: off + bytes})
+		}
+	}
+
+	// Aliasing: sort by offset and check each neighbour pair — with all
+	// buffers live simultaneously, interval overlap is exactly aliasing.
+	sort.Slice(blocks, func(i, j int) bool {
+		if blocks[i].lo != blocks[j].lo {
+			return blocks[i].lo < blocks[j].lo
+		}
+		return blocks[i].v.ID < blocks[j].v.ID
+	})
+	for i := 1; i < len(blocks); i++ {
+		prev, cur := blocks[i-1], blocks[i]
+		if cur.lo < prev.hi {
+			r.Add("alloc.alias", "", fmt.Sprintf("strategy %s: %s [%d,%d) overlaps %s [%d,%d)", s.Name, prev.v, prev.lo, prev.hi, cur.v, cur.lo, cur.hi))
+		}
+	}
+
+	// Contiguity claims: a satisfied request's members must sit back-to-back
+	// in request order. The custom-wirer skips gather copies on the strength
+	// of this claim, so a false claim silently feeds a fused GEMM garbage.
+	byID := map[string]memory.Request{}
+	for _, req := range requests {
+		byID[req.ID] = req
+	}
+	for _, id := range s.SatisfiedIDs() {
+		req, ok := byID[id]
+		if !ok {
+			r.Add("alloc.contig", "", fmt.Sprintf("strategy %s satisfies unknown request %q", s.Name, id))
+			continue
+		}
+		for i := 1; i < len(req.Values); i++ {
+			prev, cur := req.Values[i-1], req.Values[i]
+			po, pok := s.Offset(prev)
+			co, cok := s.Offset(cur)
+			if !pok || !cok {
+				continue // placement failure already reported
+			}
+			if want := po + int64(prev.Shape.NumElements())*8; co != want {
+				r.Add("alloc.contig", "", fmt.Sprintf("strategy %s claims request %q contiguous, but %s at %d follows %s ending at %d", s.Name, id, cur, co, prev, want))
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,128 @@
+package verify
+
+import (
+	"fmt"
+
+	"astra/internal/enumerate"
+	"astra/internal/graph"
+)
+
+// CheckUnits verifies the schedule-unit graph against the training graph:
+// every non-view node belongs to exactly one unit, unit dependencies agree
+// with the value-level edges (seen through folded view transposes), and the
+// super-epoch/epoch partition dispatches units in topological order.
+func CheckUnits(p *enumerate.Plan) *Report {
+	r := &Report{}
+	views := enumerate.Views(p.G)
+
+	// Coverage: each non-view node in exactly one unit.
+	owner := map[*graph.Node]*enumerate.Unit{}
+	for _, u := range p.Units {
+		for _, n := range u.Nodes {
+			if prev, ok := owner[n]; ok {
+				r.Add("units.cover", "", fmt.Sprintf("node %s claimed by units %s and %s", n, prev.ID, u.ID))
+				continue
+			}
+			owner[n] = u
+			if views[n] {
+				r.Add("units.cover", "", fmt.Sprintf("view transpose %s scheduled in unit %s", n, u.ID))
+			}
+		}
+	}
+	for _, n := range p.G.Nodes {
+		if views[n] {
+			continue
+		}
+		if owner[n] == nil {
+			r.Add("units.cover", "", fmt.Sprintf("node %s not covered by any schedule unit", n))
+		}
+	}
+
+	// Dependencies: every cross-unit value edge must appear in Deps; every
+	// Deps entry must be justified by at least one value edge.
+	producer := map[*graph.Value]*enumerate.Unit{}
+	for _, u := range p.Units {
+		for _, n := range u.Nodes {
+			producer[n.Out] = u
+		}
+	}
+	for _, u := range p.Units {
+		deps := map[*enumerate.Unit]bool{}
+		for _, d := range u.Deps {
+			deps[d] = true
+		}
+		needed := map[*enumerate.Unit]bool{}
+		for _, n := range u.Nodes {
+			for _, in := range n.Inputs {
+				src := in
+				if in.Producer != nil && views[in.Producer] {
+					src = in.Producer.Inputs[0]
+				}
+				pu := producer[src]
+				if pu == nil || pu == u {
+					continue
+				}
+				needed[pu] = true
+				if !deps[pu] {
+					r.Add("units.dep", "", fmt.Sprintf("unit %s reads %s from unit %s without a dependency edge", u.ID, src, pu.ID))
+				}
+			}
+		}
+		for d := range deps {
+			if !needed[d] {
+				r.Add("units.dep", "", fmt.Sprintf("unit %s declares dependency on %s without a value edge", u.ID, d.ID))
+			}
+		}
+	}
+
+	// Partition: the super-epoch/epoch walk is the dispatch order; every
+	// dependency must dispatch strictly earlier, and each unit's recorded
+	// epoch/super-epoch must match its position.
+	order := map[*enumerate.Unit]int{}
+	seq := 0
+	for _, se := range p.Supers {
+		for _, ep := range se.Epochs {
+			for _, u := range ep.Units {
+				if _, ok := order[u]; ok {
+					r.Add("units.epoch", "", fmt.Sprintf("unit %s dispatched twice by the partition", u.ID))
+				}
+				order[u] = seq
+				seq++
+				if u.Epoch != ep.Index {
+					r.Add("units.epoch", "", fmt.Sprintf("unit %s records epoch %d but sits in epoch %d", u.ID, u.Epoch, ep.Index))
+				}
+				if u.SuperEpoch != se.Index {
+					r.Add("units.epoch", "", fmt.Sprintf("unit %s records super-epoch %d but sits in super-epoch %d", u.ID, u.SuperEpoch, se.Index))
+				}
+			}
+			// Classes partition the epoch's units.
+			inClass := map[*enumerate.Unit]int{}
+			for _, cls := range ep.Classes {
+				for _, u := range cls.Units {
+					inClass[u]++
+				}
+			}
+			for _, u := range ep.Units {
+				if inClass[u] != 1 {
+					r.Add("units.epoch", "", fmt.Sprintf("unit %s appears in %d equivalence classes of epoch %d", u.ID, inClass[u], ep.Index))
+				}
+			}
+		}
+	}
+	for _, u := range p.Units {
+		if _, ok := order[u]; !ok {
+			r.Add("units.epoch", "", fmt.Sprintf("unit %s missing from the super-epoch partition", u.ID))
+			continue
+		}
+		for _, d := range u.Deps {
+			od, ok := order[d]
+			if !ok {
+				continue // reported above
+			}
+			if od >= order[u] {
+				r.Add("units.epoch", "", fmt.Sprintf("unit %s dispatches at %d before its dependency %s at %d", u.ID, order[u], d.ID, od))
+			}
+		}
+	}
+	return r
+}

@@ -45,12 +45,15 @@ func (c CommConfig) Enabled() bool { return c.Workers >= 2 && c.BytesPerUs > 0 }
 // per-batch comm statistics and trace lanes can be attributed.
 const commKernelPrefix = "allreduce."
 
-// commBucket is one gradient bucket of the current batch: its payload and
-// the unit whose dispatch completes its last gradient.
+// commBucket is one gradient bucket of the current batch: its payload, the
+// unit whose dispatch completes its last gradient, and every distinct unit
+// producing one of its gradients (the readiness events must cover all of
+// them — units in the same epoch can sit on different streams).
 type commBucket struct {
 	bytes    int64
 	grads    int
 	lastUnit *enumerate.Unit
+	units    []*enumerate.Unit
 }
 
 // commState is the per-batch bucketing plan.
@@ -121,6 +124,9 @@ func (r *Runner) prepareComm() *commState {
 		cur.bytes += g.Bytes
 		cur.grads++
 		cur.lastUnit = g.Unit
+		if len(cur.units) == 0 || cur.units[len(cur.units)-1] != g.Unit {
+			cur.units = append(cur.units, g.Unit)
+		}
 		if cap > 0 && cur.bytes >= cap {
 			flush()
 		}
@@ -130,20 +136,36 @@ func (r *Runner) prepareComm() *commState {
 }
 
 // launchBucketAllReduce issues one bucket's ring all-reduce: a readiness
-// event on the producing stream, a cross-stream wait, then 2·(n−1) step
-// kernels. Each step moves bytes/n over one link (§: classic two-phase
-// ring), so its kernel runs for the serialization time plus the per-hop
-// latency. With identical deterministic replicas, every worker reaches the
-// readiness event at the same simulated time, so gating on the local event
-// is exactly the global ring dependency; under per-worker noise it is the
-// optimistic bound, and the cluster step still aggregates as the max over
-// workers.
+// event on every stream that produced one of the bucket's gradients,
+// cross-stream waits, then 2·(n−1) step kernels. Each step moves bytes/n
+// over one link (§: classic two-phase ring), so its kernel runs for the
+// serialization time plus the per-hop latency. With identical deterministic
+// replicas, every worker reaches the readiness events at the same simulated
+// time, so gating on the local events is exactly the global ring
+// dependency; under per-worker noise it is the optimistic bound, and the
+// cluster step still aggregates as the max over workers.
+//
+// Covering every producing stream matters: a bucket can span units of the
+// same epoch assigned to different streams, and the dispatch-order trigger
+// (the last unit) says nothing about the other streams' progress. The plan
+// verifier's comm.order analysis checks exactly this edge.
 func (r *Runner) launchBucketAllReduce(st *dispatchState, cs *commState, bucket int, producedOn int) {
 	b := cs.buckets[bucket]
-	ready := r.recordEvent(st, producedOn)
-	if cs.stream != producedOn {
-		r.Dev.WaitEvent(cs.stream, ready)
-		st.events++
+	readyOn := map[int]bool{}
+	for _, u := range b.units {
+		s, ok := st.unitStream[u]
+		if !ok {
+			s = producedOn
+		}
+		if readyOn[s] {
+			continue
+		}
+		readyOn[s] = true
+		ready := r.recordEvent(st, s)
+		if cs.stream != s {
+			r.Dev.WaitEvent(cs.stream, ready)
+			st.events++
+		}
 	}
 	n := r.Cfg.Comm.Workers
 	steps := 2 * (n - 1)

@@ -71,7 +71,7 @@ func (s *Session) Report() ScheduleReport {
 		for _, se := range p.Supers {
 			for _, ep := range se.Epochs {
 				assign := s.Runner.streamAssignment(ep)
-				for _, st := range assign {
+				for _, st := range assign { // nodeterm:ok commutative counting
 					r.StreamSplit[st]++
 				}
 			}
@@ -87,7 +87,7 @@ func (r ScheduleReport) String() string {
 	fmt.Fprintf(&b, "schedule: %d super-epochs, %d epochs\n", r.SuperEpochs, r.Epochs)
 	if len(r.StreamSplit) > 0 {
 		streams := make([]int, 0, len(r.StreamSplit))
-		for s := range r.StreamSplit {
+		for s := range r.StreamSplit { // nodeterm:ok keys sorted below
 			streams = append(streams, s)
 		}
 		sort.Ints(streams)

@@ -150,6 +150,15 @@ type dispatchState struct {
 	prevEpochEvents []*gpusim.Event
 	prevEpochStream []int
 	usedStreams     map[int]bool
+	// unitStream records each dispatched unit's stream, so comm readiness
+	// events can cover every stream a bucket's gradients were produced on.
+	unitStream map[*enumerate.Unit]int
+	// barrierEvents holds the latest super-epoch barrier's record events:
+	// a stream entering the schedule for the first time after a barrier
+	// must wait on them, since the barrier's all-pairs synchronization only
+	// covered the streams used so far.
+	barrierEvents []*gpusim.Event
+	barrierStream []int
 	// comm is the batch's gradient-bucketing plan (nil when comm is off).
 	// The comm stream deliberately stays out of usedStreams: super-epoch
 	// barriers exist to isolate schedule exploration, and syncing the
@@ -171,6 +180,7 @@ func (r *Runner) RunBatch(inputs graph.Env, params graph.Env) BatchResult {
 		epochEnds:   map[*enumerate.Epoch][]*gpusim.Event{},
 		seStart:     map[*enumerate.SuperEpoch]*gpusim.Event{},
 		usedStreams: map[int]bool{0: true},
+		unitStream:  map[*enumerate.Unit]int{},
 	}
 	st.comm = r.prepareComm()
 	if st.evalValues {
@@ -308,13 +318,26 @@ func (r *Runner) streamAssignment(ep *enumerate.Epoch) map[*enumerate.Unit]int {
 func (r *Runner) dispatchEpoch(st *dispatchState, se *enumerate.SuperEpoch, ep *enumerate.Epoch) {
 	assign := r.streamAssignment(ep)
 	// Cross-stream ordering: before using a stream in this epoch, wait on
-	// the previous epoch's end events of the *other* streams.
+	// the previous epoch's end events of the *other* streams. A stream
+	// entering the schedule for the first time additionally waits on the
+	// latest super-epoch barrier's events: the barrier's all-pairs
+	// synchronization only covered the streams used before it, so without
+	// the catch-up a fresh stream would race work from earlier super-epochs
+	// (found by the plan verifier's happens-before analysis).
 	waited := map[int]bool{}
 	ensureOrdered := func(stream int) {
 		if waited[stream] {
 			return
 		}
 		waited[stream] = true
+		if !st.usedStreams[stream] {
+			for i, ev := range st.barrierEvents {
+				if st.barrierStream[i] != stream {
+					r.Dev.WaitEvent(stream, ev)
+					st.events++
+				}
+			}
+		}
 		for i, ev := range st.prevEpochEvents {
 			if st.prevEpochStream[i] != stream {
 				r.Dev.WaitEvent(stream, ev)
@@ -325,9 +348,10 @@ func (r *Runner) dispatchEpoch(st *dispatchState, se *enumerate.SuperEpoch, ep *
 	streamsUsed := map[int]bool{}
 	for _, u := range ep.Units {
 		stream := assign[u]
+		ensureOrdered(stream)
 		streamsUsed[stream] = true
 		st.usedStreams[stream] = true
-		ensureOrdered(stream)
+		st.unitStream[u] = stream
 		r.dispatchUnit(st, u, stream)
 		r.maybeLaunchComm(st, st.comm, u, stream)
 	}
@@ -362,7 +386,7 @@ func (r *Runner) superEpochBarrier(st *dispatchState) {
 	// the simulated CPU clock, so Go's randomized map order would make
 	// event timestamps differ between identical runs.
 	streams := make([]int, 0, len(st.usedStreams))
-	for s := range st.usedStreams {
+	for s := range st.usedStreams { // nodeterm:ok keys sorted below
 		streams = append(streams, s)
 	}
 	sort.Ints(streams)
@@ -381,6 +405,10 @@ func (r *Runner) superEpochBarrier(st *dispatchState) {
 	}
 	st.prevEpochEvents = nil
 	st.prevEpochStream = nil
+	// Keep the barrier's records: a stream first used after this barrier
+	// waits on them to catch up with everything dispatched before it.
+	st.barrierEvents = append(st.barrierEvents[:0], evs...)
+	st.barrierStream = append(st.barrierStream[:0], streams...)
 }
 
 // unitLabel names a schedule unit for the dispatch trace track.
@@ -585,7 +613,9 @@ func (r *Runner) eval(st *dispatchState, n *graph.Node) {
 // library variables, per-epoch completion times for the stream composites,
 // and the end-to-end batch time for the allocation policy.
 func (r *Runner) extractMetrics(st *dispatchState, res *BatchResult) {
-	for u, span := range st.groupSpan {
+	// Each unit maps to its own group/kernel var, so the writes below hit
+	// distinct metric keys in any order.
+	for u, span := range st.groupSpan { // nodeterm:ok distinct metric key per unit
 		t := gpusim.Elapsed(span[0], span[1])
 		if v := r.Plan.ChunkVars[u.Group]; v != nil {
 			res.Metrics[v.ID] = t
@@ -594,7 +624,7 @@ func (r *Runner) extractMetrics(st *dispatchState, res *BatchResult) {
 			res.Metrics[v.ID] = t
 		}
 	}
-	for u, span := range st.unitSpan {
+	for u, span := range st.unitSpan { // nodeterm:ok distinct metric key per unit
 		if v := r.Plan.KernelVars[u]; v != nil {
 			res.Metrics[v.ID] = gpusim.Elapsed(span[0], span[1])
 		}

@@ -12,6 +12,7 @@ import (
 	"astra/internal/models"
 	"astra/internal/obs"
 	"astra/internal/profile"
+	"astra/internal/verify"
 )
 
 // Session ties the whole pipeline together for one training job: the
@@ -66,6 +67,19 @@ type Session struct {
 	// traces for paper-scale sessions).
 	TraceDetailBatches int
 	wiredBatches       int
+
+	// VerifyConfigs counts the distinct configurations the plan verifier
+	// checked this session (the schedule-unit graph and allocation
+	// strategies are checked once at wire time; each explored binding is
+	// checked before its first measurement). VerifyFindings counts the
+	// findings; any finding folds into Err as a sticky *verify.Error.
+	VerifyConfigs  int
+	VerifyFindings int
+	verifyOn       bool
+	verifySpec     verify.Spec
+	verifySeen     map[string]bool
+	verifyErr      *verify.Error
+	stepVerify     []string // findings surfaced by the current Step
 
 	// Drift configures the wired-phase watchdog; the zero value disables it.
 	Drift DriftConfig
@@ -187,6 +201,11 @@ type SessionConfig struct {
 	// snapshot from an earlier run of the same job makes exploration
 	// resume where it left off — or skip straight to the wired schedule.
 	Index *profile.Index
+	// SkipVerify disables the plan verifier. By default the session
+	// verifies the graph, unit partition and every allocation strategy at
+	// wire time, and each explored configuration before measuring it;
+	// findings surface as verify.* metrics and a sticky Err.
+	SkipVerify bool
 }
 
 // NewSession compiles the model and prepares the runtime.
@@ -226,7 +245,65 @@ func NewSession(m *models.Model, cfg SessionConfig) *Session {
 	if plan.Tree != nil {
 		s.Exp = adapt.NewExplorer(plan.Tree, s.Ix)
 	}
+	if !cfg.SkipVerify {
+		s.verifyOn = true
+		s.verifySeen = map[string]bool{}
+		s.verifySpec = verify.Spec{
+			Workers:   cfg.Comm.Workers,
+			BucketKB:  cfg.Comm.DefaultBucketKB,
+			Placement: cfg.Comm.DefaultPlacement,
+			MaxFusion: cfg.Runner.MaxFusion,
+		}
+		// Plan-level analyses run once: the graph IR, the unit partition,
+		// and every allocation strategy the explorer could pick.
+		r := verify.CheckGraph(plan.G)
+		r.Merge(verify.CheckUnits(plan))
+		for _, a := range plan.Allocs {
+			r.Merge(verify.CheckStrategy(a, plan.G.Values, plan.Requests))
+		}
+		s.recordVerify(r)
+	}
 	return s
+}
+
+// recordVerify folds one verifier report into the session: counters, the
+// sticky error, and the per-step finding list telemetry attaches to the
+// batch's event record.
+func (s *Session) recordVerify(r *verify.Report) {
+	s.VerifyConfigs += r.Configs
+	if s.Obs != nil {
+		s.Obs.Metrics.Counter("verify.configs", "").Add(float64(r.Configs))
+	}
+	if r.OK() {
+		return
+	}
+	s.VerifyFindings += len(r.Findings)
+	if s.verifyErr == nil {
+		s.verifyErr = &verify.Error{}
+	}
+	s.verifyErr.Findings = append(s.verifyErr.Findings, r.Findings...)
+	for _, f := range r.Findings {
+		s.stepVerify = append(s.stepVerify, f.String())
+	}
+	if s.Obs != nil {
+		s.Obs.Metrics.Counter("verify.findings", "").Add(float64(len(r.Findings)))
+	}
+}
+
+// verifyStep checks the configuration the next batch will run under, once
+// per distinct binding. The explorer advanced the variables at the end of
+// the previous Step, so the current bindings are exactly what dispatches.
+func (s *Session) verifyStep() {
+	if !s.verifyOn {
+		return
+	}
+	s.stepVerify = s.stepVerify[:0]
+	sig := verify.Signature(s.Plan)
+	if s.verifySeen[sig] {
+		return
+	}
+	s.verifySeen[sig] = true
+	s.recordVerify(verify.CheckConfig(s.Plan, s.verifySpec))
 }
 
 // Instrument attaches a telemetry bundle to the whole pipeline: the runner
@@ -251,6 +328,10 @@ func (s *Session) Instrument(tel *obs.Telemetry) {
 	tel.Metrics.Counter("wirer.events", "cudaEvents recorded or waited on")
 	tel.Metrics.Gauge("profile.hit_rate", "profile index hit rate")
 	tel.Metrics.Counter("session.drift_events", "wired-phase drift watchdog firings")
+	// The wire-time verification ran before telemetry attached; seed the
+	// counters with what has accumulated so far.
+	tel.Metrics.Counter("verify.configs", "distinct configurations checked by the plan verifier").Add(float64(s.VerifyConfigs))
+	tel.Metrics.Counter("verify.findings", "plan-verifier findings (safety violations)").Add(float64(s.VerifyFindings))
 	if len(s.Peers) > 0 {
 		tel.Metrics.Gauge("distsim.workers", "data-parallel worker count").Set(float64(len(s.Peers) + 1))
 		tel.Metrics.Histogram("distsim.comm_us", "per-batch gradient-exchange link-busy time")
@@ -310,7 +391,7 @@ func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]str
 		args["workers"] = len(res.WorkerUs)
 		args["comm_us"] = res.CommUs
 	}
-	for k, v := range bindings {
+	for k, v := range bindings { // nodeterm:ok order-independent map-to-map copy
 		args["bind."+k] = v
 	}
 	tel.Trace.AddSpan(obs.PIDDispatch, obs.TIDBatches, name, phase, startUs, res.TotalUs, args)
@@ -375,6 +456,7 @@ func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]str
 		Workers:        workers,
 		CommUs:         res.CommUs,
 		WorkerUs:       res.WorkerUs,
+		VerifyFindings: append([]string(nil), s.stepVerify...),
 	})
 }
 
@@ -397,6 +479,7 @@ func (s *Session) nameCommLane(devPID int, r *Runner) {
 // wired-in best configuration.
 func (s *Session) Step() BatchResult {
 	exploring := s.Exp != nil && !s.Exp.Done()
+	s.verifyStep()
 	detail := false
 	if s.Obs != nil {
 		detail = s.traceDetail(exploring)
@@ -471,10 +554,16 @@ func (s *Session) Explore() int {
 // Done reports whether exploration has converged.
 func (s *Session) Done() bool { return s.Exp == nil || s.Exp.Done() }
 
-// Err reports a failed exploration (stuck explorer). A non-nil error means
-// the session's configuration search cannot make progress; Done() is true
-// so training loops terminate, but the wired schedule is not trustworthy.
+// Err reports a failed exploration (stuck explorer) or a failed
+// verification. A non-nil error means the session is not trustworthy: a
+// *verify.Error (unwrap with errors.As) marks a semantically unsafe plan or
+// configuration — the analyses found a race, an aliasing overlap, an
+// illegal fusion or a broken exchange — while an explorer error means the
+// configuration search cannot make progress. Both are sticky.
 func (s *Session) Err() error {
+	if s.verifyErr != nil {
+		return s.verifyErr
+	}
 	if s.Exp == nil {
 		return nil
 	}
