@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet verify lint race bench experiments experiments-quick cover cover-check clean
+.PHONY: all build test test-short vet verify lint race bench bench-json experiments experiments-quick cover cover-check clean
 
 all: build lint test race
 
@@ -58,12 +58,20 @@ cover-check:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
+# Machine-readable benchmark trajectory: the fast experiment subset, quick
+# sweeps, one worker per CPU, timings+allocations as JSON. CI's bench-smoke
+# job runs this against the committed BENCH_PR5.json (see docs/PERFORMANCE.md).
+BENCH_SMOKE_IDS ?= table1,sec32,fig2,table3,table9,inventory,ablation-profiling
+BENCH_JSON_OUT ?= bench.json
+bench-json:
+	$(GO) run ./cmd/astra-bench -experiment $(BENCH_SMOKE_IDS) -quick -parallel -1 -json-out $(BENCH_JSON_OUT)
+
 # Regenerate every paper table/figure (takes tens of minutes).
 experiments:
 	$(GO) run ./cmd/astra-bench -experiment all
 
 experiments-quick:
-	$(GO) run ./cmd/astra-bench -experiment all -quick
+	$(GO) run ./cmd/astra-bench -experiment all -quick -parallel -1
 
 clean:
 	$(GO) clean ./...

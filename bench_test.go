@@ -157,3 +157,72 @@ func BenchmarkMiniBatchDispatch(b *testing.B) {
 		s.Step()
 	}
 }
+
+// benchKeys is a realistic profile key population: a few hundred distinct
+// (context, variable, choice) signatures, as a paper-scale session produces.
+func benchKeys() []profile.Key {
+	keys := make([]profile.Key, 0, 512)
+	for ctx := 0; ctx < 16; ctx++ {
+		for v := 0; v < 8; v++ {
+			for c := 0; c < 4; c++ {
+				keys = append(keys, profile.K(
+					"ctx"+strconv.Itoa(ctx), "var"+strconv.Itoa(v), "choice"+strconv.Itoa(c)))
+			}
+		}
+	}
+	return keys
+}
+
+// BenchmarkProfileIndexRecord measures concurrent Record throughput on the
+// sharded index — the write path every exploration trial hits.
+func BenchmarkProfileIndexRecord(b *testing.B) {
+	ix := profile.NewIndex()
+	keys := benchKeys()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ix.Record(keys[i%len(keys)], float64(100+i%7))
+			i++
+		}
+	})
+}
+
+// BenchmarkProfileIndexBest measures concurrent Best lookups — the explorer's
+// read path when freezing winners — against a populated index.
+func BenchmarkProfileIndexBest(b *testing.B) {
+	ix := profile.NewIndex()
+	labels := []string{"choice0", "choice1", "choice2", "choice3"}
+	for _, k := range benchKeys() {
+		ix.Record(k, float64(len(k)))
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ix.Best("ctx"+strconv.Itoa(i%16), "var"+strconv.Itoa(i%8), labels)
+			i++
+		}
+	})
+}
+
+// BenchmarkSimulatorEventLoop measures the pooled event machinery:
+// cross-stream RecordEvent/WaitEvent dependencies around every launch, the
+// pattern the wirer emits for barrier-parallel exploration.
+func BenchmarkSimulatorEventLoop(b *testing.B) {
+	dev := gpusim.NewDevice(gpusim.P100())
+	dev.EnsureStreams(4)
+	spec := kernels.GEMM(kernels.CuBLAS, kernels.GEMMShape{M: 64, K: 512, N: 512})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%256 == 0 {
+			dev.Synchronize()
+			dev.Reset()
+		}
+		src, dst := i%4, (i+1)%4
+		dev.Launch(src, spec)
+		ev := dev.RecordEvent(src)
+		dev.WaitEvent(dst, ev)
+		dev.Launch(dst, spec)
+	}
+	dev.Synchronize()
+}

@@ -36,6 +36,7 @@ var defaultDirs = []string{
 	"internal/wire",
 	"internal/distsim",
 	"internal/enumerate",
+	"internal/parallel",
 }
 
 func main() {

@@ -21,14 +21,13 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"astra/internal/enumerate"
 	"astra/internal/models"
+	"astra/internal/parallel"
 	"astra/internal/verify"
 )
 
@@ -61,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	preset := fs.String("preset", "all", "preset to verify, or \"all\": Astra_F, Astra_FK, Astra_FKS, Astra_all")
 	workers := fs.String("workers", "1,2,4", "comma-separated data-parallel worker counts")
 	batch := fs.Int("batch", 16, "mini-batch size")
+	jobs := fs.Int("j", -1, "combinations verified concurrently; <1 means one per CPU")
 	verbose := fs.Bool("v", false, "print every finding (default: first 5 per combination)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,20 +72,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// The matrix fans out on the order-preserving pool: results land in
+	// sweep order regardless of -j, so the report below is byte-stable
+	// across worker counts (only the elapsed column varies).
 	results := make([]result, len(combos))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i, c := range combos {
-		wg.Add(1)
-		go func(i int, c combo) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			start := time.Now()
-			results[i] = result{combo: c, report: vetOne(c, *batch), elapsed: time.Since(start)}
-		}(i, c)
-	}
-	wg.Wait()
+	parallel.ForEach(*jobs, len(combos), func(i int) error {
+		start := time.Now()
+		results[i] = result{combo: combos[i], report: vetOne(combos[i], *batch), elapsed: time.Since(start)}
+		return nil
+	})
 
 	failed := 0
 	totalConfigs, totalFindings := 0, 0

@@ -66,3 +66,31 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatalf("bad flag: exit %d, want 2", code)
 	}
 }
+
+// stripElapsed removes the per-combination wall-clock column — the only
+// part of the report that legitimately varies between runs.
+func stripElapsed(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if i := strings.LastIndex(line, " "); i >= 0 && strings.Contains(line, "configs=") {
+			line = line[:i]
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestOutputOrderStableAcrossJobs(t *testing.T) {
+	args := []string{"-model", "scrnn", "-workers", "1,2,4"}
+	var serial, par strings.Builder
+	if code := run(append([]string{"-j", "1"}, args...), &serial, &serial); code != 0 {
+		t.Fatalf("-j 1 exit %d:\n%s", code, serial.String())
+	}
+	if code := run(append([]string{"-j", "4"}, args...), &par, &par); code != 0 {
+		t.Fatalf("-j 4 exit %d:\n%s", code, par.String())
+	}
+	if stripElapsed(serial.String()) != stripElapsed(par.String()) {
+		t.Errorf("output differs between -j 1 and -j 4:\n--- j=1 ---\n%s\n--- j=4 ---\n%s",
+			serial.String(), par.String())
+	}
+}

@@ -47,6 +47,12 @@ type Var struct {
 	frozenCtx string
 	ctx       string
 	record    bool // set by the explorer walk: measure this var this trial
+
+	// Per-context key cache: the explorer probes every choice's profile key
+	// on each walk, and rebuilding the mangled strings each trial dominated
+	// the setup allocations. The cache is invalidated by context change.
+	keyCtx string
+	keys   []profile.Key
 }
 
 // NewVar builds a variable with the given choice labels.
@@ -89,7 +95,25 @@ func (v *Var) Initialize() {
 }
 
 // Key returns the profile key for the variable's current (context, choice).
-func (v *Var) Key() profile.Key { return profile.K(v.ctx, v.ID, v.CurrentLabel()) }
+func (v *Var) Key() profile.Key { return v.KeyFor(v.current) }
+
+// KeyFor returns the profile key of choice c under the variable's current
+// context, from a per-context cache: the keys for all of a variable's
+// choices are built once per context and reused across trials.
+func (v *Var) KeyFor(c int) profile.Key {
+	if v.keyCtx != v.ctx || len(v.keys) != len(v.Labels) {
+		if cap(v.keys) < len(v.Labels) {
+			v.keys = make([]profile.Key, len(v.Labels))
+		} else {
+			v.keys = v.keys[:len(v.Labels)]
+		}
+		for i, l := range v.Labels {
+			v.keys[i] = profile.K(v.ctx, v.ID, l)
+		}
+		v.keyCtx = v.ctx
+	}
+	return v.keys[c]
+}
 
 // Mode annotates internal tree nodes.
 type Mode int

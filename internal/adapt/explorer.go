@@ -279,7 +279,7 @@ func (e *Explorer) setupLeaf(v *Var, ctx string) bool {
 	}
 	v.frozen = false
 	for c := range v.Labels {
-		if !e.ix.Has(profile.K(ctx, v.ID, v.Labels[c])) {
+		if !e.ix.Has(v.KeyFor(c)) {
 			v.current = c
 			v.record = true
 			return false
@@ -372,7 +372,7 @@ func (e *Explorer) setupExhaustive(t *Tree, ctx string) bool {
 	}
 	v.frozen = false
 	for c := range v.Labels {
-		if !e.ix.Has(profile.K(ctx, v.ID, v.Labels[c])) {
+		if !e.ix.Has(v.KeyFor(c)) {
 			v.current = c
 			v.record = true
 			e.applyTuple(t, c)
@@ -426,14 +426,14 @@ func (e *Explorer) setupFork(t *Tree, ctx string) bool {
 		// Subtree converged under this policy choice: validate the best
 		// configuration end-to-end once, attributing the measurement to
 		// the policy choice itself.
-		if !e.ix.Has(profile.K(ctx, policy.ID, policy.CurrentLabel())) {
+		if !e.ix.Has(policy.KeyFor(policy.current)) {
 			policy.record = true
 			return false
 		}
 		// Move to the next unmeasured policy choice, if any.
 		advanced := false
 		for c := range policy.Labels {
-			if !e.ix.Has(profile.K(ctx, policy.ID, policy.Labels[c])) {
+			if !e.ix.Has(policy.KeyFor(c)) {
 				policy.current = c
 				advanced = true
 				break

@@ -28,7 +28,7 @@ package gpusim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"astra/internal/tensor"
 )
@@ -174,6 +174,7 @@ type kernel struct {
 	setupUs    float64
 	readyAt    float64 // device time tiles become schedulable
 	started    bool
+	seq        int // launch order within the batch; total SM-allocation tie-break
 	unassigned int // tiles not yet given to an SM group
 	inFlight   int // tiles currently executing
 	assigned   int // SMs currently held
@@ -181,27 +182,112 @@ type kernel struct {
 }
 
 type stream struct {
+	// queue[head:] is the pending FIFO. Consuming advances head instead of
+	// re-slicing from the front, so the backing array survives the batch and
+	// the next batch enqueues into already-warm capacity.
 	queue     []item
+	head      int
 	busy      *kernel // FIFO: at most one kernel in flight per stream
 	lastDone  float64 // device time the last kernel on this stream finished
 	waitUntil float64 // earliest device time the next item may start
 }
 
+func (s *stream) pending() int { return len(s.queue) - s.head }
+
+func (s *stream) peek() item { return s.queue[s.head] }
+
+func (s *stream) advance() {
+	s.head++
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
+}
+
+func (s *stream) push(it item) { s.queue = append(s.queue, it) }
+
 // Device is the simulated GPU plus the dispatching CPU's timeline.
 type Device struct {
-	cfg      Config
-	cpuUs    float64
-	simUs    float64
-	freeSMs  int
-	streams  []*stream
-	running  []*kernel
-	batches  batchHeap
-	records  []*KernelRecord
-	rng      *tensor.RNG
-	faultRNG *tensor.RNG // persists across Reset; drives straggler injection
-	batch    int         // 1-based batch counter, advanced by Reset
-	eventSeq int
-	smBusyUs float64 // integral of busy SMs over device time
+	cfg       Config
+	cpuUs     float64
+	simUs     float64
+	freeSMs   int
+	streams   []*stream
+	running   []*kernel
+	batches   batchHeap
+	records   []*KernelRecord
+	rng       *tensor.RNG
+	faultRNG  *tensor.RNG // persists across Reset; drives straggler injection
+	batch     int         // 1-based batch counter, advanced by Reset
+	eventSeq  int
+	launchSeq int     // kernels launched this batch; orders SM allocation ties
+	smBusyUs  float64 // integral of busy SMs over device time
+
+	// Free-lists for the per-batch hot-path objects. Pointers handed out
+	// (records, events) stay valid until the next Reset, which recycles them
+	// for the following batch — the simulator's steady state allocates
+	// nothing per launch. Pools hold pointers (not a value arena) so growth
+	// via append never invalidates an outstanding pointer.
+	recPool   []*KernelRecord
+	recUsed   int
+	kernPool  []*kernel
+	kernUsed  int
+	eventPool []*Event
+	eventUsed int
+	needy     []*kernel // scratch for allocateSMs
+	poolReuse int64     // objects served from a free-list (telemetry)
+	poolAlloc int64     // objects newly allocated (telemetry)
+}
+
+func (d *Device) newRecord() *KernelRecord {
+	if d.recUsed < len(d.recPool) {
+		r := d.recPool[d.recUsed]
+		d.recUsed++
+		d.poolReuse++
+		*r = KernelRecord{}
+		return r
+	}
+	r := &KernelRecord{}
+	d.recPool = append(d.recPool, r)
+	d.recUsed++
+	d.poolAlloc++
+	return r
+}
+
+func (d *Device) newKernel() *kernel {
+	if d.kernUsed < len(d.kernPool) {
+		k := d.kernPool[d.kernUsed]
+		d.kernUsed++
+		d.poolReuse++
+		*k = kernel{}
+		return k
+	}
+	k := &kernel{}
+	d.kernPool = append(d.kernPool, k)
+	d.kernUsed++
+	d.poolAlloc++
+	return k
+}
+
+func (d *Device) newEvent() *Event {
+	if d.eventUsed < len(d.eventPool) {
+		e := d.eventPool[d.eventUsed]
+		d.eventUsed++
+		d.poolReuse++
+		*e = Event{}
+		return e
+	}
+	e := &Event{}
+	d.eventPool = append(d.eventPool, e)
+	d.eventUsed++
+	d.poolAlloc++
+	return e
+}
+
+// PoolCounters reports the free-list telemetry: objects served from a pool
+// versus freshly allocated since the device was created.
+func (d *Device) PoolCounters() (reused, allocated int64) {
+	return d.poolReuse, d.poolAlloc
 }
 
 // NewDevice creates a device with one stream.
@@ -258,7 +344,8 @@ func (d *Device) CPUTimeUs() float64 { return d.cpuUs }
 func (d *Device) AdvanceCPU(us float64) { d.cpuUs += us }
 
 // Records returns every kernel executed since the last Reset, in launch
-// order.
+// order. The slice and the records it points to are recycled by the next
+// Reset; callers must copy anything they keep across batches.
 func (d *Device) Records() []*KernelRecord { return d.records }
 
 // SMBusyUs returns the integral of occupied SMs over device time, the basis
@@ -269,17 +356,24 @@ func (d *Device) SMBusyUs() float64 { return d.smBusyUs }
 // counter; streams are kept. The jitter stream reseeds from (Seed, batch)
 // so each batch draws fresh — but run-to-run reproducible — noise; the
 // fault stream deliberately survives Reset (see FaultConfig.Seed).
+//
+// Reset also recycles the previous batch's kernel records and events into
+// the device free-lists: pointers obtained from Launch/RecordEvent/Records
+// are valid until the next Reset and must not be retained across it.
 func (d *Device) Reset() {
 	d.cpuUs, d.simUs = 0, 0
 	d.freeSMs = d.cfg.NumSMs
-	d.running = nil
-	d.batches = nil
-	d.records = nil
+	d.running = d.running[:0]
+	d.batches = d.batches[:0]
+	d.records = d.records[:0]
+	d.recUsed, d.kernUsed, d.eventUsed = 0, 0, 0
+	d.launchSeq = 0
 	d.smBusyUs = 0
 	d.batch++
-	d.rng = tensor.NewRNG(d.cfg.Seed + uint64(d.batch)*0x9E3779B97F4A7C15)
+	d.rng.Reseed(d.cfg.Seed + uint64(d.batch)*0x9E3779B97F4A7C15)
 	for _, s := range d.streams {
-		s.queue = nil
+		s.queue = s.queue[:0]
+		s.head = 0
 		s.busy = nil
 		s.lastDone = 0
 		s.waitUntil = 0
@@ -317,16 +411,21 @@ func (d *Device) Launch(streamID int, spec KernelSpec) *KernelRecord {
 		}
 		jitter *= factor
 	}
-	rec := &KernelRecord{
-		Name:       spec.Name,
-		Stream:     streamID,
-		LaunchUs:   d.cpuUs,
-		Tiles:      spec.Tiles,
-		TileTimeUs: spec.TileTimeUs * jitter,
-	}
+	rec := d.newRecord()
+	rec.Name = spec.Name
+	rec.Stream = streamID
+	rec.LaunchUs = d.cpuUs
+	rec.Tiles = spec.Tiles
+	rec.TileTimeUs = spec.TileTimeUs * jitter
 	d.records = append(d.records, rec)
-	k := &kernel{rec: rec, setupUs: setup, unassigned: spec.Tiles, jitter: jitter}
-	s.queue = append(s.queue, item{kind: itemKernel, arrivalUs: d.cpuUs, kern: k})
+	k := d.newKernel()
+	k.rec = rec
+	k.setupUs = setup
+	k.seq = d.launchSeq
+	d.launchSeq++
+	k.unassigned = spec.Tiles
+	k.jitter = jitter
+	s.push(item{kind: itemKernel, arrivalUs: d.cpuUs, kern: k})
 	return rec
 }
 
@@ -337,8 +436,9 @@ func (d *Device) RecordEvent(streamID int) *Event {
 	s := d.stream(streamID)
 	d.cpuUs += 0.2
 	d.eventSeq++
-	e := &Event{id: d.eventSeq}
-	s.queue = append(s.queue, item{kind: itemRecord, arrivalUs: d.cpuUs, event: e})
+	e := d.newEvent()
+	e.id = d.eventSeq
+	s.push(item{kind: itemRecord, arrivalUs: d.cpuUs, event: e})
 	return e
 }
 
@@ -347,7 +447,7 @@ func (d *Device) RecordEvent(streamID int) *Event {
 func (d *Device) WaitEvent(streamID int, e *Event) {
 	s := d.stream(streamID)
 	d.cpuUs += 0.2
-	s.queue = append(s.queue, item{kind: itemWait, arrivalUs: d.cpuUs, event: e})
+	s.push(item{kind: itemWait, arrivalUs: d.cpuUs, event: e})
 }
 
 // Synchronize drains all streams (cudaDeviceSynchronize): the simulation
@@ -457,8 +557,8 @@ func (d *Device) startEligibleWork() {
 	for progress := true; progress; {
 		progress = false
 		for _, s := range d.streams {
-			for len(s.queue) > 0 {
-				it := s.queue[0]
+			for s.pending() > 0 {
+				it := s.peek()
 				// Stream FIFO: nothing passes a busy kernel.
 				if s.busy != nil {
 					break
@@ -470,7 +570,7 @@ func (d *Device) startEligibleWork() {
 					// to it; that can be in the simulated past.
 					it.event.resolved = true
 					it.event.timeUs = eligible
-					s.queue = s.queue[1:]
+					s.advance()
 					progress = true
 					continue
 				case itemWait:
@@ -481,7 +581,7 @@ func (d *Device) startEligibleWork() {
 					if it.event.timeUs > s.waitUntil {
 						s.waitUntil = it.event.timeUs
 					}
-					s.queue = s.queue[1:]
+					s.advance()
 					progress = true
 					continue
 				case itemKernel:
@@ -494,7 +594,7 @@ func (d *Device) startEligibleWork() {
 					k.readyAt = eligible + k.setupUs
 					s.busy = k
 					d.running = append(d.running, k)
-					s.queue = s.queue[1:]
+					s.advance()
 					progress = true
 					continue
 				}
@@ -513,11 +613,21 @@ func (d *Device) allocateSMs() {
 		if len(needy) == 0 {
 			return
 		}
-		sort.Slice(needy, func(i, j int) bool {
-			if needy[i].assigned != needy[j].assigned {
-				return needy[i].assigned < needy[j].assigned
+		// slices.SortFunc does not allocate (sort.Slice boxes its closure,
+		// which was the last per-launch heap allocation on this path). The
+		// seq tie-break makes the order total, so the result is identical
+		// for any sorting algorithm.
+		slices.SortFunc(needy, func(a, b *kernel) int {
+			if a.assigned != b.assigned {
+				return a.assigned - b.assigned
 			}
-			return needy[i].rec.LaunchUs < needy[j].rec.LaunchUs
+			if a.rec.LaunchUs != b.rec.LaunchUs {
+				if a.rec.LaunchUs < b.rec.LaunchUs {
+					return -1
+				}
+				return 1
+			}
+			return a.seq - b.seq
 		})
 		k := needy[0]
 		share := d.freeSMs / len(needy)
@@ -537,12 +647,13 @@ func (d *Device) allocateSMs() {
 }
 
 func (d *Device) needyKernels() []*kernel {
-	var out []*kernel
+	out := d.needy[:0]
 	for _, k := range d.running {
 		if k.unassigned > 0 && k.readyAt <= d.simUs {
 			out = append(out, k)
 		}
 	}
+	d.needy = out
 	return out
 }
 
@@ -560,10 +671,10 @@ func (d *Device) nextEventTime() float64 {
 		}
 	}
 	for _, s := range d.streams {
-		if len(s.queue) == 0 || s.busy != nil {
+		if s.pending() == 0 || s.busy != nil {
 			continue
 		}
-		it := s.queue[0]
+		it := s.peek()
 		if it.kind == itemWait && !it.event.resolved {
 			continue
 		}
@@ -613,7 +724,7 @@ func (d *Device) pendingWork() bool {
 		return true
 	}
 	for _, s := range d.streams {
-		if len(s.queue) > 0 {
+		if s.pending() > 0 {
 			return true
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
+	"astra/internal/parallel"
 	"astra/internal/profile"
 	"astra/internal/tensor"
 	"astra/internal/wire"
@@ -110,8 +111,12 @@ func AblationAutoboost(o Options) (*Table, error) {
 		{"autoboost on", true, 1},
 		{"autoboost on, 5 samples", true, 5},
 	}
-	var pinnedWired float64
-	for _, v := range variants {
+	type outcome struct {
+		row   []string
+		wired float64
+	}
+	outs, err := parallel.Map(o.workers(), len(variants), func(i int) (outcome, error) {
+		v := variants[i]
 		m := buildModel(model, batch)
 		dev := gpusim.P100()
 		dev.Autoboost = v.boost
@@ -130,11 +135,21 @@ func AblationAutoboost(o Options) (*Table, error) {
 		// the comparison isolates decision quality from clock luck.
 		pinned := wire.NewRunner(s.Plan, gpusim.NewDevice(gpusim.P100()), wire.RunnerConfig{PerOpCPUUs: 2})
 		wired := pinned.RunBatch(nil, nil).TotalUs
-		if !v.boost {
-			pinnedWired = wired
-		}
-		t.Rows = append(t.Rows, []string{v.label, fmt.Sprint(s.Trials), fmt.Sprintf("%.0f", wired)})
 		o.progress("ablation autoboost=%v samples=%d done", v.boost, v.samples)
+		return outcome{
+			row:   []string{v.label, fmt.Sprint(s.Trials), fmt.Sprintf("%.0f", wired)},
+			wired: wired,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pinnedWired float64
+	for i, out := range outs {
+		if !variants[i].boost {
+			pinnedWired = out.wired
+		}
+		t.Rows = append(t.Rows, out.row)
 	}
 	if len(t.Rows) == 3 && pinnedWired > 0 {
 		t.Notes = append(t.Notes, fmt.Sprintf(
@@ -160,7 +175,9 @@ func AblationBarrier(o Options) (*Table, error) {
 		Title:  "Barrier exploration: super-epoch size vs state space and schedule quality",
 		Header: []string{"super-epoch budget (us)", "super-epochs", "configs", "wired batch (us)"},
 	}
-	for _, budget := range []float64{500, 2000, 8000, 1e12} {
+	budgets := []float64{500, 2000, 8000, 1e12}
+	rows, err := parallel.Map(o.workers(), len(budgets), func(i int) ([]string, error) {
+		budget := budgets[i]
 		m := buildModel(model, batch)
 		opts := enumerate.PresetOptions(enumerate.PresetFKS)
 		opts.SuperEpochUs = budget
@@ -174,11 +191,15 @@ func AblationBarrier(o Options) (*Table, error) {
 		if budget >= 1e12 {
 			label = "unbounded (no barriers)"
 		}
-		t.Rows = append(t.Rows, []string{
+		o.progress("ablation barrier budget=%.0f done", budget)
+		return []string{
 			label, fmt.Sprint(len(s.Plan.Supers)), fmt.Sprint(s.Trials),
 			fmt.Sprintf("%.0f", s.WiredTimeUs()),
-		})
-		o.progress("ablation barrier budget=%.0f done", budget)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }

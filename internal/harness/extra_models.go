@@ -6,6 +6,7 @@ import (
 	"astra/internal/baselines"
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
+	"astra/internal/parallel"
 )
 
 func init() {
@@ -25,18 +26,22 @@ func ExtraModels(o Options) (*Table, error) {
 		Header: []string{"Model", "Mini-batch", "PyT", "Astra_FK", "Astra_all", "configs"},
 	}
 	batches := []int{16, 32}
-	for _, name := range []string{"rhn", "attlstm"} {
-		for _, batch := range batches {
-			m := buildModel(name, batch)
-			nat := baselines.RunNative(m.G, gpusim.NewDevice(gpusim.P100()), baselines.PyTorch(), nil, nil)
-			wiredFK, _, _ := exploreWired(m, enumerate.PresetFK)
-			wiredAll, trials, _ := exploreWired(m, enumerate.PresetAll)
-			t.Rows = append(t.Rows, []string{
-				name, fmt.Sprint(batch), "1",
-				f2(nat.TimeUs / wiredFK), f2(nat.TimeUs / wiredAll), fmt.Sprint(trials),
-			})
-			o.progress("extra-models %s-%d done", name, batch)
-		}
+	names := []string{"rhn", "attlstm"}
+	rows, err := parallel.Map(o.workers(), len(names)*len(batches), func(i int) ([]string, error) {
+		name, batch := names[i/len(batches)], batches[i%len(batches)]
+		m := buildModel(name, batch)
+		nat := baselines.RunNative(m.G, gpusim.NewDevice(gpusim.P100()), baselines.PyTorch(), nil, nil)
+		wiredFK, _, _ := exploreWired(m, enumerate.PresetFK)
+		wiredAll, trials, _ := exploreWired(m, enumerate.PresetAll)
+		o.progress("extra-models %s-%d done", name, batch)
+		return []string{
+			name, fmt.Sprint(batch), "1",
+			f2(nat.TimeUs / wiredFK), f2(nat.TimeUs / wiredAll), fmt.Sprint(trials),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }

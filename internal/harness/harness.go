@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"astra/internal/parallel"
 )
 
 // Table is a rendered experiment result.
@@ -64,7 +66,16 @@ type Options struct {
 	// adaptation levels where the full experiment would take minutes;
 	// the qualitative shapes are unchanged.
 	Quick bool
-	// Progress, when non-nil, receives one line per completed cell.
+	// Parallel bounds the worker count for an experiment's independent
+	// cells (exploration episodes). 0 or 1 runs serially; negative means
+	// one worker per available CPU. Every cell builds its own model,
+	// session and simulated device, and results merge in canonical cell
+	// order, so any Parallel value produces byte-identical tables.
+	Parallel int
+	// Progress, when non-nil, receives one line per completed cell. With
+	// Parallel > 1 it is called from multiple goroutines and must be safe
+	// for concurrent use; line order then depends on scheduling (the table
+	// itself never does).
 	Progress func(string)
 }
 
@@ -72,6 +83,15 @@ func (o Options) progress(format string, args ...interface{}) {
 	if o.Progress != nil {
 		o.Progress(fmt.Sprintf(format, args...))
 	}
+}
+
+// workers resolves Options.Parallel for parallel.Map: the default 0 stays
+// serial so existing callers keep their exact execution profile.
+func (o Options) workers() int {
+	if o.Parallel == 0 {
+		return 1
+	}
+	return o.Parallel
 }
 
 func (o Options) batches() []int {
@@ -121,6 +141,20 @@ func Run(id string, o Options) (*Table, error) {
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Names())
 	}
 	return r(o)
+}
+
+// RunAll executes the given experiments (all of them when ids is empty) with
+// up to o.Parallel experiments in flight at once, on top of the per-cell
+// parallelism each experiment already has. Tables return in the canonical
+// order of ids regardless of scheduling; the error is the first failing
+// experiment's, by that same order.
+func RunAll(ids []string, o Options) ([]*Table, error) {
+	if len(ids) == 0 {
+		ids = Names()
+	}
+	return parallel.Map(o.workers(), len(ids), func(i int) (*Table, error) {
+		return Run(ids[i], o)
+	})
 }
 
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

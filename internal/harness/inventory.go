@@ -5,6 +5,7 @@ import (
 
 	"astra/internal/enumerate"
 	"astra/internal/models"
+	"astra/internal/parallel"
 )
 
 func init() {
@@ -23,19 +24,25 @@ func Inventory(o Options) (*Table, error) {
 			"requests", "allocs", "super-epochs", "epochs", "variables",
 		},
 	}
-	for _, name := range models.Names() {
+	names := models.Names()
+	rows, err := parallel.Map(o.workers(), len(names), func(i int) ([]string, error) {
+		name := names[i]
 		m := buildModel(name, 16)
 		p := enumerate.Enumerate(m.G, enumerate.PresetOptions(enumerate.PresetAll))
 		st := p.Stats()
 		gs := m.G.Stats()
-		t.Rows = append(t.Rows, []string{
+		o.progress("inventory %s done", name)
+		return []string{
 			name,
 			fmt.Sprint(gs.Nodes), fmt.Sprint(gs.MatMuls),
 			fmt.Sprint(st.Units), fmt.Sprint(st.Groups), fmt.Sprint(st.GroupedGEMMs),
 			fmt.Sprint(st.Requests), fmt.Sprint(st.Allocs),
 			fmt.Sprint(st.SuperEpochs), fmt.Sprint(st.Epochs), fmt.Sprint(st.Variables),
-		})
-		o.progress("inventory %s done", name)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }

@@ -7,6 +7,7 @@ import (
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
 	"astra/internal/models"
+	"astra/internal/parallel"
 	"astra/internal/wire"
 )
 
@@ -31,7 +32,10 @@ func buildModel(name string, batch int) *models.Model {
 }
 
 // speedupTable renders Tables 2–4: factor speedup relative to native
-// PyTorch for the cumulative Astra presets across mini-batch sizes.
+// PyTorch for the cumulative Astra presets across mini-batch sizes. Every
+// (batch, preset) cell is an independent exploration episode — its own
+// model build, native baseline and session — so the cells fan out across
+// Options.Parallel workers and merge back in canonical order.
 func speedupTable(id, model string, o Options) (*Table, error) {
 	t := &Table{
 		ID:     id,
@@ -39,15 +43,21 @@ func speedupTable(id, model string, o Options) (*Table, error) {
 		Header: []string{"Mini-batch", "PyT", "Astra_F", "Astra_FK", "Astra_FKS", "Astra_all"},
 	}
 	presets := []enumerate.Preset{enumerate.PresetF, enumerate.PresetFK, enumerate.PresetFKS, enumerate.PresetAll}
-	for _, batch := range o.batches() {
+	batches := o.batches()
+	cells, err := parallel.Map(o.workers(), len(batches)*len(presets), func(i int) (string, error) {
+		batch, p := batches[i/len(presets)], presets[i%len(presets)]
 		m := buildModel(model, batch)
 		nat := baselines.RunNative(m.G, gpusim.NewDevice(gpusim.P100()), baselines.PyTorch(), nil, nil)
+		wired, _, _ := exploreWired(m, p)
+		o.progress("%s %s batch=%d %s done", id, model, batch, p)
+		return f2(nat.TimeUs / wired), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, batch := range batches {
 		row := []string{fmt.Sprint(batch), "1"}
-		for _, p := range presets {
-			wired, _, _ := exploreWired(m, p)
-			row = append(row, f2(nat.TimeUs/wired))
-			o.progress("%s %s batch=%d %s done", id, model, batch, p)
-		}
+		row = append(row, cells[bi*len(presets):(bi+1)*len(presets)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
@@ -55,6 +65,7 @@ func speedupTable(id, model string, o Options) (*Table, error) {
 
 // cudnnTable renders Tables 5–6: performance relative to PyTorch+cuDNN for
 // the models (partially) covered by the hand-optimized compound kernels.
+// Cells parallelize exactly like speedupTable's.
 func cudnnTable(id, model string, o Options) (*Table, error) {
 	t := &Table{
 		ID:     id,
@@ -62,18 +73,27 @@ func cudnnTable(id, model string, o Options) (*Table, error) {
 		Header: []string{"Mini-batch", "PyT", "cuDNN", "Astra_F", "Astra_FK", "Astra_all"},
 	}
 	presets := []enumerate.Preset{enumerate.PresetF, enumerate.PresetFK, enumerate.PresetAll}
-	for _, batch := range o.batches() {
+	batches := o.batches()
+	type cell struct{ pyt, val string }
+	cells, err := parallel.Map(o.workers(), len(batches)*len(presets), func(i int) (cell, error) {
+		batch, p := batches[i/len(presets)], presets[i%len(presets)]
 		m := buildModel(model, batch)
 		nat := baselines.RunNative(m.G, gpusim.NewDevice(gpusim.P100()), baselines.PyTorch(), nil, nil)
 		cud, ok := baselines.RunCuDNN(m, gpusim.NewDevice(gpusim.P100()), baselines.PyTorch(), nil, nil)
 		if !ok {
-			return nil, fmt.Errorf("harness: cuDNN does not cover %s", model)
+			return cell{}, fmt.Errorf("harness: cuDNN does not cover %s", model)
 		}
-		row := []string{fmt.Sprint(batch), f2(cud.TimeUs / nat.TimeUs), "1"}
-		for _, p := range presets {
-			wired, _, _ := exploreWired(m, p)
-			row = append(row, f2(cud.TimeUs/wired))
-			o.progress("%s %s batch=%d %s done", id, model, batch, p)
+		wired, _, _ := exploreWired(m, p)
+		o.progress("%s %s batch=%d %s done", id, model, batch, p)
+		return cell{pyt: f2(cud.TimeUs / nat.TimeUs), val: f2(cud.TimeUs / wired)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, batch := range batches {
+		row := []string{fmt.Sprint(batch), cells[bi*len(presets)].pyt, "1"}
+		for pi := range presets {
+			row = append(row, cells[bi*len(presets)+pi].val)
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"astra/internal/distsim"
 	"astra/internal/enumerate"
+	"astra/internal/parallel"
 )
 
 func init() {
@@ -104,23 +105,27 @@ func ExtMultiGPU(o Options) (*Table, error) {
 	if !o.Quick {
 		models = append(models, "milstm", "stackedlstm")
 	}
-	for _, name := range models {
-		for _, fabric := range distsim.Fabrics() {
-			c, err := CompareMultiGPU(name, fabric, 64, 4)
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				name, fabric.Name,
-				fmt.Sprintf("%.0f", c.BulkSyncUs),
-				fmt.Sprintf("%.0f", c.ExploredUs),
-				fmt.Sprintf("%.1f%%", c.OverlapGainPct()),
-				fmt.Sprintf("%.0f", c.ExhaustiveUs),
-				fmt.Sprintf("%.2f%%", c.GapPct()),
-				c.ExploredBucket + "/" + c.ExploredPlace,
-			})
-			o.progress("ext-multigpu %s %s done", name, fabric.Name)
+	fabrics := distsim.Fabrics()
+	rows, err := parallel.Map(o.workers(), len(models)*len(fabrics), func(i int) ([]string, error) {
+		name, fabric := models[i/len(fabrics)], fabrics[i%len(fabrics)]
+		c, err := CompareMultiGPU(name, fabric, 64, 4)
+		if err != nil {
+			return nil, err
 		}
+		o.progress("ext-multigpu %s %s done", name, fabric.Name)
+		return []string{
+			name, fabric.Name,
+			fmt.Sprintf("%.0f", c.BulkSyncUs),
+			fmt.Sprintf("%.0f", c.ExploredUs),
+			fmt.Sprintf("%.1f%%", c.OverlapGainPct()),
+			fmt.Sprintf("%.0f", c.ExhaustiveUs),
+			fmt.Sprintf("%.2f%%", c.GapPct()),
+			c.ExploredBucket + "/" + c.ExploredPlace,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"astra/internal/enumerate"
+	"astra/internal/gpusim"
+	"astra/internal/models"
+	"astra/internal/obs"
+	"astra/internal/parallel"
+	"astra/internal/wire"
+)
+
+// probeArtifacts is everything one run of the probe experiment produces:
+// the rendered table plus, per cell, the profile-index snapshot and the
+// Chrome trace export. Byte-identity of all three across Parallel values
+// is the determinism contract Options.Parallel documents.
+type probeArtifacts struct {
+	table string
+	index [][]byte
+	trace [][]byte
+}
+
+// runDeterminismProbe registers a tiny multi-cell experiment (removed
+// again before returning, so Names() keeps its canonical set), runs it
+// through harness.Run with the given Parallel setting, and captures the
+// per-cell artifacts. Each cell is a real exploration episode on a tiny
+// model — the same code path the paper tables use, scaled down so the
+// whole probe stays fast enough for `go test -race -short`.
+func runDeterminismProbe(t *testing.T, par int) probeArtifacts {
+	t.Helper()
+	const id = "determinism-probe"
+	cells := []struct {
+		model string
+		batch int
+	}{
+		{"scrnn", 8}, {"scrnn", 16}, {"sublstm", 8}, {"sublstm", 16},
+	}
+	index := make([][]byte, len(cells))
+	trace := make([][]byte, len(cells))
+	experiments[id] = func(o Options) (*Table, error) {
+		tbl := &Table{
+			ID:     id,
+			Title:  "parallel determinism probe",
+			Header: []string{"model", "batch", "trials", "wired (us)"},
+		}
+		rows, err := parallel.Map(o.workers(), len(cells), func(i int) ([]string, error) {
+			c := cells[i]
+			build, _ := models.Get(c.model)
+			cfg := models.DefaultConfig(c.model, c.batch)
+			cfg.SeqLen = 2
+			m := build(cfg)
+			tel := obs.NewTelemetry()
+			s := wire.NewSession(m, wire.SessionConfig{
+				Device:  gpusim.P100(),
+				Options: enumerate.PresetOptions(enumerate.PresetFK),
+				Runner:  wire.RunnerConfig{PerOpCPUUs: 2},
+			})
+			s.Instrument(tel)
+			s.Explore()
+			var ib, tb bytes.Buffer
+			if err := s.Ix.Save(&ib); err != nil {
+				return nil, err
+			}
+			if err := tel.Trace.WriteChromeTrace(&tb); err != nil {
+				return nil, err
+			}
+			index[i] = ib.Bytes()
+			trace[i] = tb.Bytes()
+			return []string{
+				c.model, fmt.Sprint(c.batch), fmt.Sprint(s.Trials),
+				fmt.Sprintf("%.3f", s.WiredTimeUs()),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.Rows = rows
+		return tbl, nil
+	}
+	defer delete(experiments, id)
+
+	tbl, err := Run(id, Options{Parallel: par})
+	if err != nil {
+		t.Fatalf("Run(%s, Parallel=%d): %v", id, par, err)
+	}
+	return probeArtifacts{table: tbl.String(), index: index, trace: trace}
+}
+
+// TestParallelRunsAreByteIdentical is the determinism regression test for
+// the parallel exploration engine: harness.Run with Parallel: 4 must
+// produce byte-identical table rows, trace output and profile.Index
+// snapshots to the serial run. It runs un-skipped under `make race`
+// (-race -short), where it also exercises parallel.Map, the sharded
+// profile.Index and the pooled simulator hot path for data races.
+func TestParallelRunsAreByteIdentical(t *testing.T) {
+	serial := runDeterminismProbe(t, 1)
+	par := runDeterminismProbe(t, 4)
+
+	if serial.table != par.table {
+		t.Errorf("table differs between Parallel=1 and Parallel=4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.table, par.table)
+	}
+	for i := range serial.index {
+		if !bytes.Equal(serial.index[i], par.index[i]) {
+			t.Errorf("cell %d: profile.Index snapshot differs between Parallel=1 and Parallel=4", i)
+		}
+		if !bytes.Equal(serial.trace[i], par.trace[i]) {
+			t.Errorf("cell %d: session trace differs between Parallel=1 and Parallel=4", i)
+		}
+	}
+
+	// The table must not be degenerate — every cell explored something.
+	if len(serial.index) == 0 || len(serial.index[0]) == 0 {
+		t.Fatal("probe produced no profile snapshot")
+	}
+}

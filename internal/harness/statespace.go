@@ -8,6 +8,7 @@ import (
 	"astra/internal/gpusim"
 	"astra/internal/memory"
 	"astra/internal/models"
+	"astra/internal/parallel"
 	"astra/internal/profile"
 	"astra/internal/wire"
 )
@@ -29,7 +30,8 @@ func Table7(o Options) (*Table, error) {
 	if o.Quick {
 		names = []string{"scrnn", "milstm", "sublstm"}
 	}
-	for _, name := range names {
+	rows, err := parallel.Map(o.workers(), len(names), func(i int) ([]string, error) {
+		name := names[i]
 		m := buildModel(name, batch)
 		_, fks, _ := exploreWired(m, enumerate.PresetFKS)
 		o.progress("table7 %s FKS done", name)
@@ -41,12 +43,16 @@ func Table7(o Options) (*Table, error) {
 		s.Explore()
 		res := s.Step()
 		frac := res.ProfilingOverheadUs() / res.TotalUs
-		t.Rows = append(t.Rows, []string{
+		o.progress("table7 %s All done", name)
+		return []string{
 			name, fmt.Sprint(fks), fmt.Sprint(s.Trials), fmt.Sprint(len(s.Plan.Allocs)),
 			fmt.Sprintf("%.3f%%", frac*100),
-		})
-		o.progress("table7 %s All done", name)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
 	"astra/internal/models"
+	"astra/internal/parallel"
 	"astra/internal/wire"
 )
 
@@ -40,7 +41,8 @@ func Table9(o Options) (*Table, error) {
 		cells = []cell{{"scrnn", 16}, {"sublstm", 16}, {"stackedlstm", 16}}
 	}
 	tf := baselines.TensorFlow()
-	for _, c := range cells {
+	rows, err := parallel.Map(o.workers(), len(cells), func(i int) ([]string, error) {
+		c := cells[i]
 		build, _ := models.Get(c.model)
 		cfg := models.DefaultConfig(c.model, c.batch)
 		cfg.Embedding = false
@@ -63,15 +65,19 @@ func Table9(o Options) (*Table, error) {
 		if cud, ok := baselines.RunCuDNN(m, gpusim.NewDevice(gpusim.P100()), tf, nil, nil); ok {
 			cudnnCol = f2(nat.TimeUs / cud.TimeUs)
 		}
-		t.Rows = append(t.Rows, []string{
+		o.progress("table9 %s-%d done", c.model, c.batch)
+		return []string{
 			fmt.Sprintf("%s (%d)", c.model, c.batch),
 			"1",
 			f2(nat.TimeUs / xla.TimeUs),
 			fmt.Sprintf("%s (%s)", f2(nat.TimeUs/astra), f2(xla.TimeUs/astra)),
 			cudnnCol,
-		})
-		o.progress("table9 %s-%d done", c.model, c.batch)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 
 	// The embedding pathology the paper describes in prose: XLA with
 	// embeddings present is worse than native TF.

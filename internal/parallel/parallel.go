@@ -1,0 +1,201 @@
+// Package parallel is the deterministic parallel execution engine behind
+// the exploration/simulation hot path: a bounded, order-preserving worker
+// pool for embarrassingly parallel task sets whose merged output must be
+// byte-identical to a serial run.
+//
+// Astra's premise is that exploration is cheap enough to run online; the
+// harness regenerates every paper table by running hundreds of independent
+// exploration episodes (one wire.Session per cell, each with its own
+// simulated device). Those episodes share nothing mutable, so they can fan
+// out across OS threads — but the repo's determinism guarantees (same seed
+// ⇒ byte-identical tables, traces and profile snapshots) must survive the
+// parallelism. Map provides exactly that contract:
+//
+//   - tasks run on at most min(GOMAXPROCS, n) goroutines (or an explicit
+//     worker bound), pulled from an atomic cursor;
+//   - results are merged in canonical task order, so the output slice is
+//     independent of scheduling;
+//   - the returned error is the lowest-index task error, not whichever
+//     goroutine lost the race, so error reporting is deterministic too;
+//   - a panicking task is re-panicked in the caller (lowest index wins),
+//     preserving the crash semantics of the serial loop.
+//
+// Tasks that need randomness derive it from SeedFor(base, i): decorrelated
+// per-task streams that depend only on (base seed, task index), never on
+// scheduling.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values below 1 mean "one per
+// available CPU" (GOMAXPROCS); the result is never more than n, so small
+// task sets do not spawn idle goroutines.
+func Workers(requested, n int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// SeedFor derives a decorrelated per-task seed from a base seed and task
+// index using the golden-ratio (Weyl) increment followed by a splitmix64
+// finalization round — adjacent indices map to statistically independent
+// streams while the mapping stays a pure function of (base, i).
+func SeedFor(base uint64, i int) uint64 {
+	z := base + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	return z
+}
+
+// taskPanic wraps a recovered panic value with its task index so Map can
+// re-panic the canonical (lowest-index) one.
+type taskPanic struct {
+	index int
+	value interface{}
+}
+
+// Map runs fn(0..n-1) on up to `workers` goroutines (Workers semantics:
+// <1 means GOMAXPROCS) and returns the results in task order. The merged
+// output, the chosen error and any propagated panic are all independent of
+// goroutine scheduling. Every task runs exactly once, even after another
+// task has already failed: tasks are independent by contract, and draining
+// keeps side effects (progress lines, telemetry counters) identical between
+// serial and parallel runs.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	w := Workers(workers, n)
+	if w == 1 {
+		// Serial fast path: no goroutines, no pool accounting, identical
+		// semantics — the byte-identity baseline parallel runs are held to.
+		for i := 0; i < n; i++ {
+			func() {
+				defer taskDone(taskStart())
+				var err error
+				out[i], err = fn(i)
+				errs[i] = err
+			}()
+		}
+		return out, firstError(errs)
+	}
+
+	panics := make([]*taskPanic, n)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runTask(i, fn, out, errs, panics)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("parallel: task %d panicked: %v", p.index, p.value))
+		}
+	}
+	return out, firstError(errs)
+}
+
+// runTask executes one task, capturing its panic (if any) instead of
+// crashing the worker goroutine.
+func runTask[T any](i int, fn func(int) (T, error), out []T, errs []error, panics []*taskPanic) {
+	defer taskDone(taskStart())
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = &taskPanic{index: i, value: r}
+		}
+	}()
+	var err error
+	out[i], err = fn(i)
+	errs[i] = err
+}
+
+// firstError returns the error of the lowest-index failed task.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach is Map for side-effecting tasks with no result value.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// ---- pool telemetry ----
+
+// PoolStats is a snapshot of the package-wide pool counters, exported into
+// the obs metrics registry by the CLI tools (parallel.tasks_total,
+// parallel.max_in_flight).
+type PoolStats struct {
+	// Tasks is the total number of tasks executed by Map/ForEach.
+	Tasks int64
+	// MaxInFlight is the high-water mark of concurrently running tasks.
+	MaxInFlight int64
+	// InFlight is the number of tasks running right now.
+	InFlight int64
+}
+
+var (
+	statTasks    atomic.Int64
+	statInFlight atomic.Int64
+	statMaxIn    atomic.Int64
+)
+
+func taskStart() int64 {
+	statTasks.Add(1)
+	in := statInFlight.Add(1)
+	for {
+		max := statMaxIn.Load()
+		if in <= max || statMaxIn.CompareAndSwap(max, in) {
+			return in
+		}
+	}
+}
+
+func taskDone(int64) { statInFlight.Add(-1) }
+
+// Stats returns the current pool counters.
+func Stats() PoolStats {
+	return PoolStats{
+		Tasks:       statTasks.Load(),
+		MaxInFlight: statMaxIn.Load(),
+		InFlight:    statInFlight.Load(),
+	}
+}

@@ -1,0 +1,174 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	out, err := Map[int](4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty: %v %v", out, err)
+	}
+	one, err := Map(4, 1, func(i int) (int, error) { return 7, nil })
+	if err != nil || len(one) != 1 || one[0] != 7 {
+		t.Fatalf("single: %v %v", one, err)
+	}
+}
+
+// TestMapErrorDeterministic: the returned error must be the lowest-index
+// failure regardless of completion order.
+func TestMapErrorDeterministic(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(8, 50, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errLow
+			case 40:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if err != errLow {
+			t.Fatalf("trial %d: err = %v, want lowest-index error", trial, err)
+		}
+	}
+}
+
+// TestMapRunsAllTasksDespiteError: tasks are independent; a failure must
+// not suppress later tasks (side effects must match the serial run).
+func TestMapRunsAllTasksDespiteError(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(4, 32, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d of 32 tasks", ran.Load())
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	_, err := Map(workers, 64, func(i int) (int, error) {
+		in := inFlight.Add(1)
+		mu.Lock()
+		if in > peak.Load() {
+			peak.Store(in)
+		}
+		mu.Unlock()
+		defer inFlight.Add(-1)
+		runtime.Gosched()
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", p, workers)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic swallowed")
+		}
+		// Deterministic: the lowest-index panic is the one re-raised.
+		if s := fmt.Sprint(r); !strings.Contains(s, "task 2 panicked: kaboom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	Map(4, 16, func(i int) (int, error) {
+		if i == 2 || i == 9 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if w := Workers(0, 1000); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want 3 (capped at n)", w)
+	}
+	if w := Workers(-1, 0); w != 1 {
+		t.Fatalf("Workers(-1, 0) = %d, want 1", w)
+	}
+}
+
+func TestSeedForDecorrelated(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := SeedFor(1, i)
+		if s == 0 {
+			t.Fatalf("SeedFor(1, %d) = 0", i)
+		}
+		if seen[s] {
+			t.Fatalf("SeedFor(1, %d) collides", i)
+		}
+		seen[s] = true
+	}
+	if SeedFor(1, 0) == SeedFor(2, 0) {
+		t.Fatal("base seed ignored")
+	}
+	if SeedFor(1, 5) != SeedFor(1, 5) {
+		t.Fatal("SeedFor not a pure function")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(4, 10, func(i int) error { sum.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	before := Stats().Tasks
+	Map(2, 8, func(i int) (int, error) { return i, nil })
+	s := Stats()
+	if s.Tasks-before != 8 {
+		t.Fatalf("tasks delta = %d, want 8", s.Tasks-before)
+	}
+	if s.MaxInFlight < 1 {
+		t.Fatalf("max in flight = %d", s.MaxInFlight)
+	}
+}

@@ -20,10 +20,13 @@ package profile
 import (
 	"encoding/json"
 	"fmt"
+	"hash/maphash"
 	"io"
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"astra/internal/obs"
 )
@@ -161,20 +164,65 @@ func (p CIPolicy) String() string {
 	return fmt.Sprintf("ci(rel=%.2f,min=%d,max=%d)", p.RelWidth, p.MinSamples, p.MaxSamples)
 }
 
-// Index stores measurements and serves the custom-wirer's lookups.
+// interned is the process-wide canonical-string table: every key stored in
+// any index goes through it, so concurrent episodes measuring the same
+// (context, variable, choice) signatures share one backing string instead
+// of retaining a per-episode copy each.
+var interned sync.Map // string -> string
+
+// Intern returns the canonical copy of s. The first caller's copy wins;
+// later equal strings resolve to it and their own allocation becomes
+// garbage immediately instead of being retained by a long-lived index.
+func Intern(s string) string {
+	if c, ok := interned.Load(s); ok {
+		return c.(string)
+	}
+	c, _ := interned.LoadOrStore(s, s)
+	return c.(string)
+}
+
+// numShards stripes the index: keys hash onto independent mutexes so
+// concurrent exploration episodes sharing one store do not serialize on a
+// single lock. 64 shards keeps contention negligible for any plausible
+// GOMAXPROCS while the per-index footprint stays small.
+const numShards = 64
+
+// shardSeed is the maphash seed for key→shard assignment. It is per-process
+// random, which is safe: shard choice never affects observable behaviour
+// (all iteration goes through sorted snapshots), only lock distribution.
+var shardSeed = maphash.MakeSeed()
+
+type shard struct {
+	mu sync.Mutex
+	m  map[Key]Stats
+}
+
+// Index stores measurements and serves the custom-wirer's lookups. It is
+// safe for concurrent use: the key space is striped across independent
+// mutexes and the query/progress counters are atomics, so concurrent
+// exploration episodes can share one store (cross-episode profile reuse)
+// while each episode's own lookups stay exact.
 type Index struct {
-	m       map[Key]*Stats
-	pol     SamplePolicy
-	hits    int
-	misses  int
-	trial   int
-	samples int // samples recorded this session (the explorer's progress signal)
+	shards  [numShards]shard
+	pol     atomic.Pointer[polBox]
+	hits    atomic.Int64
+	misses  atomic.Int64
+	trial   atomic.Int64
+	samples atomic.Int64 // samples recorded this session (the explorer's progress signal)
+	size    atomic.Int64 // stored keys, maintained on insert/evict/load
 
 	// Optional telemetry, attached by Instrument.
 	mHits    *obs.Counter
 	mMisses  *obs.Counter
 	mSize    *obs.Gauge
 	mSamples *obs.Counter
+}
+
+// polBox wraps the policy interface so it can live in an atomic.Pointer.
+type polBox struct{ p SamplePolicy }
+
+func (ix *Index) shardFor(k Key) *shard {
+	return &ix.shards[maphash.String(shardSeed, string(k))%numShards]
 }
 
 // Instrument attaches a metrics registry: Has updates profile.hits /
@@ -185,67 +233,94 @@ func (ix *Index) Instrument(reg *obs.Registry) {
 	ix.mMisses = reg.Counter("profile.misses", "profile index lookups that missed")
 	ix.mSize = reg.Gauge("profile.index_size", "measurements stored in the profile index")
 	ix.mSamples = reg.Counter("profile.samples", "samples recorded into the profile index")
-	ix.mSize.Set(float64(len(ix.m)))
+	ix.mSize.Set(float64(ix.size.Load()))
 }
 
 // NewIndex returns an empty profile index with the default single-sample
 // policy.
-func NewIndex() *Index { return &Index{m: make(map[Key]*Stats)} }
+func NewIndex() *Index {
+	ix := &Index{}
+	for i := range ix.shards {
+		ix.shards[i].m = make(map[Key]Stats)
+	}
+	return ix
+}
 
 // SetPolicy installs the sample policy (nil restores the default
 // FixedSamples(1)). Set it before exploration starts: the policy is part of
 // what "measured" means.
-func (ix *Index) SetPolicy(p SamplePolicy) { ix.pol = p }
+func (ix *Index) SetPolicy(p SamplePolicy) {
+	if p == nil {
+		ix.pol.Store(nil)
+		return
+	}
+	ix.pol.Store(&polBox{p: p})
+}
 
 // Policy returns the active sample policy.
 func (ix *Index) Policy() SamplePolicy {
-	if ix.pol == nil {
-		return FixedSamples(1)
+	if b := ix.pol.Load(); b != nil {
+		return b.p
 	}
-	return ix.pol
+	return FixedSamples(1)
 }
 
 // SetTrial tags subsequent recordings with the current exploration trial.
-func (ix *Index) SetTrial(t int) { ix.trial = t }
+func (ix *Index) SetTrial(t int) { ix.trial.Store(int64(t)) }
 
 // Record folds a sample into the key's statistics. Once the sample policy
 // is satisfied further samples are ignored: under the default
 // FixedSamples(1) policy this is exactly the paper's first-measurement-wins
 // rule (§4.1 — mini-batch predictability makes one measurement suffice).
 func (ix *Index) Record(k Key, us float64) {
-	st, ok := ix.m[k]
-	if ok && ix.Policy().Satisfied(*st) {
+	pol := ix.Policy()
+	sh := ix.shardFor(k)
+	sh.mu.Lock()
+	st, ok := sh.m[k]
+	if ok && pol.Satisfied(st) {
+		sh.mu.Unlock()
 		return
 	}
 	if !ok {
-		st = &Stats{Trial: ix.trial}
-		ix.m[k] = st
+		st = Stats{Trial: int(ix.trial.Load())}
+		ix.size.Add(1)
 	}
 	st.Count++
 	d := us - st.Mean
 	st.Mean += d / float64(st.Count)
 	st.M2 += d * (us - st.Mean)
-	ix.samples++
+	sh.m[Key(Intern(string(k)))] = st
+	sh.mu.Unlock()
+	ix.samples.Add(1)
 	if ix.mSamples != nil {
 		ix.mSamples.Inc()
 	}
 	if ix.mSize != nil {
-		ix.mSize.Set(float64(len(ix.m)))
+		ix.mSize.Set(float64(ix.size.Load()))
 	}
+}
+
+// get returns the current statistics for k under the shard lock.
+func (ix *Index) get(k Key) (Stats, bool) {
+	sh := ix.shardFor(k)
+	sh.mu.Lock()
+	st, ok := sh.m[k]
+	sh.mu.Unlock()
+	return st, ok
 }
 
 // Has reports whether the key counts as measured — present and with enough
 // samples to satisfy the policy. It counts toward the hit/miss statistics.
 func (ix *Index) Has(k Key) bool {
-	st, ok := ix.m[k]
-	measured := ok && ix.Policy().Satisfied(*st)
+	st, ok := ix.get(k)
+	measured := ok && ix.Policy().Satisfied(st)
 	if measured {
-		ix.hits++
+		ix.hits.Add(1)
 		if ix.mHits != nil {
 			ix.mHits.Inc()
 		}
 	} else {
-		ix.misses++
+		ix.misses.Add(1)
 		if ix.mMisses != nil {
 			ix.mMisses.Inc()
 		}
@@ -256,7 +331,7 @@ func (ix *Index) Has(k Key) bool {
 // Lookup returns the point-estimate view of k (the sample mean), present or
 // not yet policy-satisfied alike.
 func (ix *Index) Lookup(k Key) (Measurement, bool) {
-	st, ok := ix.m[k]
+	st, ok := ix.get(k)
 	if !ok {
 		return Measurement{}, false
 	}
@@ -265,25 +340,19 @@ func (ix *Index) Lookup(k Key) (Measurement, bool) {
 
 // LookupStats returns the full multi-sample record for k.
 func (ix *Index) LookupStats(k Key) (Stats, bool) {
-	st, ok := ix.m[k]
-	if !ok {
-		return Stats{}, false
-	}
-	return *st, true
+	return ix.get(k)
 }
 
 // SampleCount returns the number of samples recorded for k.
 func (ix *Index) SampleCount(k Key) int {
-	if st, ok := ix.m[k]; ok {
-		return st.Count
-	}
-	return 0
+	st, _ := ix.get(k)
+	return st.Count
 }
 
 // Samples returns the total number of samples recorded this session. Unlike
 // Len it grows while a key is re-sampled, which is what the explorer's
 // progress guard watches.
-func (ix *Index) Samples() int { return ix.samples }
+func (ix *Index) Samples() int { return int(ix.samples.Load()) }
 
 // better reports whether a beats b as the frozen choice. The primary order
 // is the sample mean; when the means are statistically indistinguishable
@@ -309,12 +378,12 @@ func (ix *Index) Best(context, varID string, labels []string) (best int, us floa
 	best = -1
 	var bs Stats
 	for i, l := range labels {
-		st, found := ix.m[K(context, varID, l)]
+		st, found := ix.get(K(context, varID, l))
 		if !found {
 			continue
 		}
-		if best < 0 || better(*st, bs) {
-			best, bs = i, *st
+		if best < 0 || better(st, bs) {
+			best, bs = i, st
 		}
 	}
 	if best < 0 {
@@ -330,41 +399,65 @@ func (ix *Index) Best(context, varID string, labels []string) (best int, us floa
 // variable re-freezes to a different choice.
 func (ix *Index) EvictVar(varID string) int {
 	n := 0
-	for k := range ix.m {
-		if _, v, _ := k.Parts(); v == varID {
-			delete(ix.m, k)
-			n++
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			if _, v, _ := k.Parts(); v == varID {
+				delete(sh.m, k)
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
-	if n > 0 && ix.mSize != nil {
-		ix.mSize.Set(float64(len(ix.m)))
+	if n > 0 {
+		ix.size.Add(int64(-n))
+		if ix.mSize != nil {
+			ix.mSize.Set(float64(ix.size.Load()))
+		}
 	}
 	return n
 }
 
 // Len returns the number of stored measurements.
-func (ix *Index) Len() int { return len(ix.m) }
+func (ix *Index) Len() int { return int(ix.size.Load()) }
 
 // HitRate returns hits/(hits+misses) of Has queries; tests use it to verify
 // that context changes invalidate exactly the dependent entries.
 func (ix *Index) HitRate() float64 {
-	tot := ix.hits + ix.misses
-	if tot == 0 {
+	h, m := ix.hits.Load(), ix.misses.Load()
+	if h+m == 0 {
 		return 0
 	}
-	return float64(ix.hits) / float64(tot)
+	return float64(h) / float64(h+m)
+}
+
+// snapshot copies every stored (key, stats) pair. Iteration-order
+// independence is the caller's job (sort, or a keyed map).
+func (ix *Index) snapshot() map[Key]Stats {
+	out := make(map[Key]Stats, ix.Len())
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		for k, st := range sh.m {
+			out[k] = st
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Dump renders the index sorted by key, for reports and debugging.
 func (ix *Index) Dump() string {
-	keys := make([]string, 0, len(ix.m))
-	for k := range ix.m {
+	snap := ix.snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
 		keys = append(keys, string(k))
 	}
 	sort.Strings(keys)
 	var b strings.Builder
 	for _, k := range keys {
-		st := ix.m[Key(k)]
+		st := snap[Key(k)]
 		if st.Count > 1 {
 			fmt.Fprintf(&b, "%s -> %.3fus ±%.3f (n=%d, trial %d)\n", k, st.Mean, st.CIHalfWidthUs(), st.Count, st.Trial)
 		} else {
@@ -404,8 +497,9 @@ type legacyEntry struct {
 // keys line up and exploration resumes (or completes) instantly — the
 // profile-index analogue of a compilation cache.
 func (ix *Index) Save(w io.Writer) error {
-	snap := snapshotFile{Version: snapshotVersion, Entries: make(map[string]snapshotEntry, len(ix.m))}
-	for k, st := range ix.m {
+	m := ix.snapshot()
+	snap := snapshotFile{Version: snapshotVersion, Entries: make(map[string]snapshotEntry, len(m))}
+	for k, st := range m {
 		snap.Entries[string(k)] = snapshotEntry{Count: st.Count, Mean: st.Mean, M2: st.M2, Trial: st.Trial}
 	}
 	return json.NewEncoder(w).Encode(&snap)
@@ -429,7 +523,7 @@ func (ix *Index) Load(r io.Reader) error {
 	if raw.Version > snapshotVersion {
 		return fmt.Errorf("profile: load: snapshot version %d newer than supported %d", raw.Version, snapshotVersion)
 	}
-	m := make(map[Key]*Stats, len(raw.Entries))
+	m := make(map[Key]Stats, len(raw.Entries))
 	for k, msg := range raw.Entries {
 		if raw.Version >= 2 {
 			var e snapshotEntry
@@ -440,19 +534,36 @@ func (ix *Index) Load(r io.Reader) error {
 			if count < 1 {
 				count = 1
 			}
-			m[Key(k)] = &Stats{Count: count, Mean: e.Mean, M2: e.M2, Trial: e.Trial}
+			m[Key(Intern(k))] = Stats{Count: count, Mean: e.Mean, M2: e.M2, Trial: e.Trial}
 		} else {
 			var e legacyEntry
 			if err := json.Unmarshal(msg, &e); err != nil {
 				return fmt.Errorf("profile: load: legacy entry %q: %w", k, err)
 			}
-			m[Key(k)] = &Stats{Count: 1, Mean: e.ValueUs, Trial: e.Trial}
+			m[Key(Intern(k))] = Stats{Count: 1, Mean: e.ValueUs, Trial: e.Trial}
 		}
 	}
-	ix.m = m
-	ix.hits, ix.misses, ix.trial, ix.samples = 0, 0, 0, 0
+	// Replace contents wholesale: snapshot decode succeeded, so swap in the
+	// new entries shard by shard.
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[Key]Stats)
+		sh.mu.Unlock()
+	}
+	for k, st := range m {
+		sh := ix.shardFor(k)
+		sh.mu.Lock()
+		sh.m[k] = st
+		sh.mu.Unlock()
+	}
+	ix.size.Store(int64(len(m)))
+	ix.hits.Store(0)
+	ix.misses.Store(0)
+	ix.trial.Store(0)
+	ix.samples.Store(0)
 	if ix.mSize != nil {
-		ix.mSize.Set(float64(len(ix.m)))
+		ix.mSize.Set(float64(ix.size.Load()))
 	}
 	return nil
 }

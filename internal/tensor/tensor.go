@@ -142,6 +142,16 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// Reseed resets the generator in place to the given seed (zero remapped as
+// in NewRNG) — the allocation-free counterpart of NewRNG for hot loops that
+// reseed per mini-batch.
+func (r *RNG) Reseed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	r.state = seed
+}
+
 // Uint64 returns the next raw 64-bit value.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

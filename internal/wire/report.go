@@ -70,7 +70,7 @@ func (s *Session) Report() ScheduleReport {
 	if p.Opts.StreamAdapt {
 		for _, se := range p.Supers {
 			for _, ep := range se.Epochs {
-				assign := s.Runner.streamAssignment(ep)
+				assign := s.Runner.streamAssignment(&s.Runner.st, ep)
 				for _, st := range assign { // nodeterm:ok commutative counting
 					r.StreamSplit[st]++
 				}

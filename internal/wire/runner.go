@@ -11,7 +11,6 @@ package wire
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 
 	"astra/internal/enumerate"
@@ -95,6 +94,11 @@ type Runner struct {
 	// commStream is the dedicated communication stream (the first stream
 	// index beyond the compute streams) when comm is enabled.
 	commStream int
+
+	// st is the reusable per-batch dispatch state: RunBatch clears and
+	// reuses its maps and scratch slices instead of reallocating them every
+	// mini-batch, which removed the dominant map churn from the inner loop.
+	st dispatchState
 }
 
 // Instrument attaches a telemetry bundle; subsequent batches emit dispatch
@@ -149,10 +153,16 @@ type dispatchState struct {
 	// cross-stream synchronization
 	prevEpochEvents []*gpusim.Event
 	prevEpochStream []int
-	usedStreams     map[int]bool
+	// usedStreams[s] reports stream s has carried work this batch; indexed
+	// by stream ID so iteration is naturally ordered (no map-order sort).
+	usedStreams []bool
 	// unitStream records each dispatched unit's stream, so comm readiness
 	// events can cover every stream a bucket's gradients were produced on.
 	unitStream map[*enumerate.Unit]int
+	// per-epoch scratch, reused across epochs and batches
+	assign      map[*enumerate.Unit]int
+	waited      []bool
+	streamsUsed []bool
 	// barrierEvents holds the latest super-epoch barrier's record events:
 	// a stream entering the schedule for the first time after a barrier
 	// must wait on them, since the barrier's all-pairs synchronization only
@@ -166,6 +176,52 @@ type dispatchState struct {
 	comm *commState
 }
 
+// resetState clears the runner's reusable dispatch state for a new batch.
+// Maps are cleared in place and scratch slices re-sliced to zero length so
+// their capacity carries over from batch to batch.
+func (r *Runner) resetState() *dispatchState {
+	st := &r.st
+	st.env = nil
+	st.evalValues = false
+	st.kernels, st.events, st.profEvents = 0, 0, 0
+	if st.groupSpan == nil {
+		st.groupSpan = map[*enumerate.Unit][2]*gpusim.Event{}
+		st.unitSpan = map[*enumerate.Unit][2]*gpusim.Event{}
+		st.epochEnds = map[*enumerate.Epoch][]*gpusim.Event{}
+		st.seStart = map[*enumerate.SuperEpoch]*gpusim.Event{}
+		st.unitStream = map[*enumerate.Unit]int{}
+		st.assign = map[*enumerate.Unit]int{}
+	} else {
+		clear(st.groupSpan)
+		clear(st.unitSpan)
+		clear(st.epochEnds)
+		clear(st.seStart)
+		clear(st.unitStream)
+		clear(st.assign)
+	}
+	n := r.Dev.NumStreams()
+	if cap(st.usedStreams) < n {
+		st.usedStreams = make([]bool, n)
+		st.waited = make([]bool, n)
+		st.streamsUsed = make([]bool, n)
+	} else {
+		st.usedStreams = st.usedStreams[:n]
+		st.waited = st.waited[:n]
+		st.streamsUsed = st.streamsUsed[:n]
+		for i := range st.usedStreams {
+			st.usedStreams[i] = false
+		}
+	}
+	st.usedStreams[0] = true
+	st.span = [2]*gpusim.Event{}
+	st.prevEpochEvents = st.prevEpochEvents[:0]
+	st.prevEpochStream = st.prevEpochStream[:0]
+	st.barrierEvents = st.barrierEvents[:0]
+	st.barrierStream = st.barrierStream[:0]
+	st.comm = nil
+	return st
+}
+
 // RunBatch dispatches one mini-batch with the plan's current variable
 // bindings. When inputs is non-nil the values are computed through the CPU
 // oracle in dispatch order (catching any dependency-violating schedule);
@@ -173,15 +229,8 @@ type dispatchState struct {
 func (r *Runner) RunBatch(inputs graph.Env, params graph.Env) BatchResult {
 	dev := r.Dev
 	dev.Reset()
-	st := &dispatchState{
-		evalValues:  inputs != nil,
-		groupSpan:   map[*enumerate.Unit][2]*gpusim.Event{},
-		unitSpan:    map[*enumerate.Unit][2]*gpusim.Event{},
-		epochEnds:   map[*enumerate.Epoch][]*gpusim.Event{},
-		seStart:     map[*enumerate.SuperEpoch]*gpusim.Event{},
-		usedStreams: map[int]bool{0: true},
-		unitStream:  map[*enumerate.Unit]int{},
-	}
+	st := r.resetState()
+	st.evalValues = inputs != nil
 	st.comm = r.prepareComm()
 	if st.evalValues {
 		st.env = make(graph.Env, len(r.Plan.G.Values))
@@ -283,11 +332,16 @@ func (r *Runner) recordProfEvent(st *dispatchState, stream int) *gpusim.Event {
 	return r.recordEvent(st, stream)
 }
 
-// streamOf assigns each unit of the epoch a stream: class variables say how
-// many of each equivalence class go to stream 1 (§4.5.5); classes without a
-// variable (capped or stream adaptation off) stay on stream 0.
-func (r *Runner) streamAssignment(ep *enumerate.Epoch) map[*enumerate.Unit]int {
-	out := map[*enumerate.Unit]int{}
+// streamAssignment assigns each unit of the epoch a stream: class variables
+// say how many of each equivalence class go to stream 1 (§4.5.5); classes
+// without a variable (capped or stream adaptation off) stay on stream 0.
+// The returned map is the state's scratch map, valid until the next epoch.
+func (r *Runner) streamAssignment(st *dispatchState, ep *enumerate.Epoch) map[*enumerate.Unit]int {
+	if st.assign == nil {
+		st.assign = map[*enumerate.Unit]int{}
+	}
+	out := st.assign
+	clear(out)
 	if !r.multiStream() {
 		for _, u := range ep.Units {
 			out[u] = 0
@@ -316,7 +370,7 @@ func (r *Runner) streamAssignment(ep *enumerate.Epoch) map[*enumerate.Unit]int {
 }
 
 func (r *Runner) dispatchEpoch(st *dispatchState, se *enumerate.SuperEpoch, ep *enumerate.Epoch) {
-	assign := r.streamAssignment(ep)
+	assign := r.streamAssignment(st, ep)
 	// Cross-stream ordering: before using a stream in this epoch, wait on
 	// the previous epoch's end events of the *other* streams. A stream
 	// entering the schedule for the first time additionally waits on the
@@ -324,7 +378,10 @@ func (r *Runner) dispatchEpoch(st *dispatchState, se *enumerate.SuperEpoch, ep *
 	// synchronization only covered the streams used before it, so without
 	// the catch-up a fresh stream would race work from earlier super-epochs
 	// (found by the plan verifier's happens-before analysis).
-	waited := map[int]bool{}
+	waited := st.waited
+	for i := range waited {
+		waited[i] = false
+	}
 	ensureOrdered := func(stream int) {
 		if waited[stream] {
 			return
@@ -345,7 +402,10 @@ func (r *Runner) dispatchEpoch(st *dispatchState, se *enumerate.SuperEpoch, ep *
 			}
 		}
 	}
-	streamsUsed := map[int]bool{}
+	streamsUsed := st.streamsUsed
+	for i := range streamsUsed {
+		streamsUsed[i] = false
+	}
 	for _, u := range ep.Units {
 		stream := assign[u]
 		ensureOrdered(stream)
@@ -382,14 +442,16 @@ func (r *Runner) superEpochBarrier(st *dispatchState) {
 	if !r.multiStream() {
 		return
 	}
-	// Iterate streams in sorted order: RecordEvent/WaitEvent each advance
-	// the simulated CPU clock, so Go's randomized map order would make
-	// event timestamps differ between identical runs.
+	// usedStreams is indexed by stream ID, so iterating it is already the
+	// sorted order determinism requires: RecordEvent/WaitEvent each advance
+	// the simulated CPU clock, so an unordered walk would make event
+	// timestamps differ between identical runs.
 	streams := make([]int, 0, len(st.usedStreams))
-	for s := range st.usedStreams { // nodeterm:ok keys sorted below
-		streams = append(streams, s)
+	for s, used := range st.usedStreams {
+		if used {
+			streams = append(streams, s)
+		}
 	}
-	sort.Ints(streams)
 	evs := make([]*gpusim.Event, len(streams))
 	for i, s := range streams {
 		evs[i] = r.recordEvent(st, s)

@@ -327,6 +327,8 @@ func (s *Session) Instrument(tel *obs.Telemetry) {
 	tel.Metrics.Counter("wirer.kernels", "kernels launched")
 	tel.Metrics.Counter("wirer.events", "cudaEvents recorded or waited on")
 	tel.Metrics.Gauge("profile.hit_rate", "profile index hit rate")
+	tel.Metrics.Gauge("sim.pool_reused", "simulator hot-path objects served from free-lists")
+	tel.Metrics.Gauge("sim.pool_allocated", "simulator hot-path objects freshly allocated")
 	tel.Metrics.Counter("session.drift_events", "wired-phase drift watchdog firings")
 	// The wire-time verification ran before telemetry attached; seed the
 	// counters with what has accumulated so far.
@@ -429,6 +431,9 @@ func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]str
 	tel.Metrics.Counter("wirer.kernels", "").Add(float64(res.Kernels))
 	tel.Metrics.Counter("wirer.events", "").Add(float64(res.Events))
 	tel.Metrics.Gauge("profile.hit_rate", "").Set(s.Ix.HitRate())
+	reused, allocated := s.Runner.Dev.PoolCounters()
+	tel.Metrics.Gauge("sim.pool_reused", "").Set(float64(reused))
+	tel.Metrics.Gauge("sim.pool_allocated", "").Set(float64(allocated))
 	workers := 0
 	if len(res.WorkerUs) > 0 {
 		workers = len(res.WorkerUs)
