@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet verify lint race bench bench-json experiments experiments-quick cover cover-check clean
+.PHONY: all build test test-short vet verify lint race bench bench-json experiments experiments-quick cover cover-check analyze clean
 
 all: build lint test race
 
@@ -53,6 +53,18 @@ cover-check:
 	echo "total coverage: $$total% (baseline $$base%)"; \
 	ok=$$(awk -v t="$$total" -v b="$$base" 'BEGIN { print (t+0 >= b+0) ? "yes" : "no" }'); \
 	if [ "$$ok" != "yes" ]; then echo "FAIL: coverage $$total% dropped below baseline $$base%"; exit 1; fi
+
+# Trace-analytics smoke: run a tiny instrumented session, audit the
+# analyzer's exactness invariants on its event log, and prove the output
+# byte-identical at -parallel 1 vs 4 (CI's analyze-smoke job runs this).
+ANALYZE_EVENTS ?= /tmp/astra-analyze-smoke.jsonl
+analyze:
+	$(GO) run ./cmd/astra-run -model sublstm -level F -steps 2 -events-out $(ANALYZE_EVENTS) > /dev/null
+	$(GO) run ./cmd/astra-analyze -events $(ANALYZE_EVENTS) -check
+	$(GO) run ./cmd/astra-analyze -events $(ANALYZE_EVENTS) -report all -parallel 1 > $(ANALYZE_EVENTS).p1
+	$(GO) run ./cmd/astra-analyze -events $(ANALYZE_EVENTS) -report all -parallel 4 > $(ANALYZE_EVENTS).p4
+	cmp $(ANALYZE_EVENTS).p1 $(ANALYZE_EVENTS).p4
+	@echo "analyze: reconciliation exact, output byte-identical at -parallel 1 vs 4"
 
 # Reduced per-table benchmarks (batch 16/32), with allocation stats.
 bench:

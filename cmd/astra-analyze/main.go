@@ -1,0 +1,171 @@
+// Command astra-analyze runs the trace-analytics engine (internal/analyze)
+// over a session's JSONL event log — the file astra-run writes with
+// -events-out — and reports what bound the run.
+//
+// Usage:
+//
+//	astra-analyze -events run.jsonl -report path        # critical-path blame
+//	astra-analyze -events run.jsonl -report util        # idle-gap taxonomy
+//	astra-analyze -events run.jsonl -report overlap     # comm/compute overlap
+//	astra-analyze -events run.jsonl -report converge    # exploration analytics
+//	astra-analyze -events run.jsonl -report all -json   # everything, as JSON
+//	astra-analyze -diff a.jsonl b.jsonl                 # run-vs-run blame
+//	astra-analyze -events run.jsonl -check              # exactness audit only
+//
+// Output is byte-identical for a given log regardless of -parallel: batches
+// are analyzed independently, merged in batch order, and every report
+// iterates sorted keys with fixed-width formatting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"astra/internal/analyze"
+	"astra/internal/obs"
+)
+
+var reportNames = []string{"path", "util", "overlap", "converge", "all"}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("astra-analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	events := fs.String("events", "", "JSONL event log to analyze (see astra-run -events-out)")
+	report := fs.String("report", "path", strings.Join(reportNames, ", "))
+	diff := fs.Bool("diff", false, "diff mode: two positional logs A B; attribute the delta B−A")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of text")
+	par := fs.Int("parallel", 1, "analyzer goroutines; <1 one per CPU (output is byte-identical either way)")
+	check := fs.Bool("check", false, "audit the exactness invariants (critical-path and taxonomy reconciliation) and report")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	reportSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "report" {
+			reportSet = true
+		}
+	})
+
+	if *diff {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "astra-analyze: -diff needs exactly two logs: astra-analyze -diff a.jsonl b.jsonl")
+			return 2
+		}
+		ra, err := loadRun(fs.Arg(0), *par, *check)
+		if err != nil {
+			fmt.Fprintln(stderr, "astra-analyze:", err)
+			return 1
+		}
+		rb, err := loadRun(fs.Arg(1), *par, *check)
+		if err != nil {
+			fmt.Fprintln(stderr, "astra-analyze:", err)
+			return 1
+		}
+		d := analyze.Diff(ra, rb)
+		if *jsonOut {
+			return emitJSON(stdout, stderr, d)
+		}
+		if err := analyze.WriteDiffReport(stdout, d); err != nil {
+			fmt.Fprintln(stderr, "astra-analyze:", err)
+			return 1
+		}
+		return 0
+	}
+
+	path := *events
+	if path == "" && fs.NArg() == 1 {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		fmt.Fprintln(stderr, "astra-analyze: no event log; pass -events run.jsonl (see astra-run -events-out)")
+		return 2
+	}
+	run, err := loadRun(path, *par, *check)
+	if err != nil {
+		fmt.Fprintln(stderr, "astra-analyze:", err)
+		return 1
+	}
+	if *check {
+		fmt.Fprintf(stdout, "ok: %d batches reconcile exactly (%.2f µs analyzed)\n",
+			len(run.Batches), run.AnalyzedUs)
+		if !reportSet && !*jsonOut {
+			// -check alone is a complete invocation; don't tack on the
+			// default report unless one was asked for.
+			return 0
+		}
+	}
+	if *jsonOut {
+		return emitJSON(stdout, stderr, run)
+	}
+	var werr error
+	switch *report {
+	case "path":
+		werr = analyze.WritePathReport(stdout, run)
+	case "util":
+		werr = analyze.WriteUtilReport(stdout, run)
+	case "overlap":
+		werr = analyze.WriteOverlapReport(stdout, run)
+	case "converge":
+		werr = analyze.WriteConvergeReport(stdout, run)
+	case "all":
+		for _, emit := range []func(io.Writer, *analyze.Run) error{
+			analyze.WritePathReport, analyze.WriteUtilReport,
+			analyze.WriteOverlapReport, analyze.WriteConvergeReport,
+		} {
+			if werr = emit(stdout, run); werr != nil {
+				break
+			}
+		}
+	default:
+		fmt.Fprintf(stderr, "astra-analyze: unknown -report %q (valid: %s)\n",
+			*report, strings.Join(reportNames, ", "))
+		return 2
+	}
+	if werr != nil {
+		fmt.Fprintln(stderr, "astra-analyze:", werr)
+		return 1
+	}
+	return 0
+}
+
+// loadRun parses and analyzes one event log, optionally auditing the
+// exactness invariants.
+func loadRun(path string, workers int, check bool) (*analyze.Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := obs.ReadTrialEvents(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	run, err := analyze.AnalyzeRun(events, workers)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if check {
+		if err := analyze.Verify(run); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+	}
+	return run, nil
+}
+
+func emitJSON(stdout, stderr io.Writer, v any) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(stderr, "astra-analyze:", err)
+		return 1
+	}
+	return 0
+}

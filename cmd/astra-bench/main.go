@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,9 +24,14 @@ import (
 	"strings"
 	"time"
 
+	"astra/internal/analyze"
+	"astra/internal/enumerate"
+	"astra/internal/gpusim"
 	"astra/internal/harness"
+	"astra/internal/models"
 	"astra/internal/obs"
 	"astra/internal/parallel"
+	"astra/internal/wire"
 )
 
 // ExperimentBench is one experiment's cost in a benchmark report: wall
@@ -50,6 +56,67 @@ type BenchReport struct {
 	Parallel    int               `json:"parallel"`
 	Experiments []ExperimentBench `json:"experiments"`
 	TotalWallNs int64             `json:"total_wall_ns"`
+	// Attribution is the analyzer's view of a fixed probe session (see
+	// attributionProbe): where simulated time goes, by critical-path class
+	// and idle-gap category. It is computed on the simulated clock, so a
+	// baseline diff that moves these numbers is a behavior change in the
+	// simulator or dispatcher, never machine noise.
+	Attribution *AttributionReport `json:"attribution,omitempty"`
+}
+
+// AttributionReport summarizes analyze.AnalyzeRun over the probe session.
+type AttributionReport struct {
+	Model       string             `json:"model"`
+	Batches     int                `json:"batches"`
+	AnalyzedUs  float64            `json:"analyzed_us"`
+	PathBlameUs map[string]float64 `json:"path_blame_us"`
+	BusyUs      map[string]float64 `json:"busy_us"`
+	IdleUs      map[string]float64 `json:"idle_us"`
+}
+
+// attributionProbe runs a small instrumented session (GPU-bound sublstm,
+// fusion preset, explore to convergence plus two wired batches), analyzes
+// its event log, and verifies the exact-reconciliation invariants before
+// reporting. Everything is on the simulated clock: byte-stable across
+// machines and worker counts.
+func attributionProbe() (*AttributionReport, error) {
+	build, ok := models.Get("sublstm")
+	if !ok {
+		return nil, fmt.Errorf("attribution probe: model sublstm missing")
+	}
+	mcfg := models.Config{Batch: 16, SeqLen: 3, Hidden: 1024, Embed: 128,
+		Vocab: 100, Embedding: true, Backward: true}
+	s := wire.NewSession(build(mcfg), wire.SessionConfig{
+		Device:  gpusim.P100(),
+		Options: enumerate.PresetOptions(enumerate.PresetF),
+		Runner:  wire.RunnerConfig{PerOpCPUUs: 2},
+	})
+	tel := obs.NewTelemetry()
+	var sink bytes.Buffer
+	tel.SetEventSink(&sink)
+	s.Instrument(tel)
+	s.Explore()
+	s.Step()
+	s.Step()
+	events, err := obs.ReadTrialEvents(&sink)
+	if err != nil {
+		return nil, fmt.Errorf("attribution probe: %v", err)
+	}
+	run, err := analyze.AnalyzeRun(events, 1)
+	if err != nil {
+		return nil, fmt.Errorf("attribution probe: %v", err)
+	}
+	if err := analyze.Verify(run); err != nil {
+		return nil, fmt.Errorf("attribution probe: %v", err)
+	}
+	return &AttributionReport{
+		Model:       "sublstm",
+		Batches:     len(run.Batches),
+		AnalyzedUs:  run.AnalyzedUs,
+		PathBlameUs: run.PathBlame,
+		BusyUs:      run.BusyUs,
+		IdleUs:      run.IdleUs,
+	}, nil
 }
 
 func main() {
@@ -131,7 +198,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *jsonOut != "" {
-		err := writeTo(*jsonOut, stdout, func(w io.Writer) error {
+		attr, err := attributionProbe()
+		if err != nil {
+			fmt.Fprintln(stderr, "astra-bench:", err)
+			return 1
+		}
+		report.Attribution = attr
+		err = writeTo(*jsonOut, stdout, func(w io.Writer) error {
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			return enc.Encode(report)

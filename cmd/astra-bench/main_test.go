@@ -30,6 +30,16 @@ func TestJSONOutAndBaseline(t *testing.T) {
 	if rep.Experiments[0].WallNs <= 0 || rep.Experiments[0].Allocs == 0 {
 		t.Fatalf("empty measurements: %+v", rep.Experiments[0])
 	}
+	// -json-out reports carry analyzer attribution, not just wall time.
+	if rep.Attribution == nil {
+		t.Fatal("report has no attribution block")
+	}
+	if rep.Attribution.Batches == 0 || rep.Attribution.AnalyzedUs <= 0 {
+		t.Fatalf("empty attribution: %+v", rep.Attribution)
+	}
+	if len(rep.Attribution.PathBlameUs) == 0 || len(rep.Attribution.IdleUs) == 0 {
+		t.Fatalf("attribution missing blame/taxonomy: %+v", rep.Attribution)
+	}
 
 	// A fresh run held against its own numbers is within tolerance.
 	stdout.Reset()

@@ -37,6 +37,7 @@ var defaultDirs = []string{
 	"internal/distsim",
 	"internal/enumerate",
 	"internal/parallel",
+	"internal/analyze",
 }
 
 func main() {

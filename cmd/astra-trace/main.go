@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,25 +24,49 @@ import (
 	"astra/internal/enumerate"
 )
 
+// showNames lists the valid -show values, in the order they are documented.
+var showNames = []string{"trace", "groups", "allocs", "epochs", "tree", "convergence"}
+
 func main() {
-	model := flag.String("model", "scrnn", "model: "+strings.Join(astra.ModelNames(), ", "))
-	batch := flag.Int("batch", 16, "mini-batch size")
-	tiny := flag.Bool("tiny", false, "use the unit-test-scale configuration")
-	show := flag.String("show", "trace", "trace, groups, allocs, epochs, tree or convergence")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("astra-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "scrnn", "model: "+strings.Join(astra.ModelNames(), ", "))
+	batch := fs.Int("batch", 16, "mini-batch size")
+	tiny := fs.Bool("tiny", false, "use the unit-test-scale configuration")
+	show := fs.String("show", "trace", strings.Join(showNames, ", "))
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	valid := false
+	for _, name := range showNames {
+		if *show == name {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		fmt.Fprintf(stderr, "astra-trace: unknown -show %q (valid: %s)\n",
+			*show, strings.Join(showNames, ", "))
+		return 2
+	}
 
 	m, err := astra.BuildModel(*model, astra.ModelConfig{Batch: *batch, Tiny: *tiny})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "astra-trace:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "astra-trace:", err)
+		return 1
 	}
-	if *show == "trace" {
-		fmt.Print(m.Trace())
-		return
-	}
-	if *show == "convergence" {
-		showConvergence(m)
-		return
+	switch *show {
+	case "trace":
+		fmt.Fprint(stdout, m.Trace())
+		return 0
+	case "convergence":
+		showConvergence(stdout, m)
+		return 0
 	}
 	p := enumerate.Enumerate(m.Internal().G, enumerate.PresetOptions(enumerate.PresetAll))
 	switch *show {
@@ -51,60 +76,58 @@ func main() {
 			if req == "" {
 				req = "(none)"
 			}
-			fmt.Printf("%-8s %-12s members=%-3d shared=%v contiguity-request=%s\n",
+			fmt.Fprintf(stdout, "%-8s %-12s members=%-3d shared=%v contiguity-request=%s\n",
 				g.ID, g.Kind, len(g.GEMMs), g.Shared, req)
 		}
 		st := p.Stats()
-		fmt.Printf("\n%d groups covering %d of %d GEMMs\n", st.Groups, st.GroupedGEMMs, m.GEMMs())
+		fmt.Fprintf(stdout, "\n%d groups covering %d of %d GEMMs\n", st.Groups, st.GroupedGEMMs, m.GEMMs())
 	case "allocs":
 		for _, a := range p.Allocs {
-			fmt.Printf("%s: satisfies {%s}, arena %d bytes\n",
+			fmt.Fprintf(stdout, "%s: satisfies {%s}, arena %d bytes\n",
 				a.Name, strings.Join(a.SatisfiedIDs(), ","), a.ArenaSize())
 		}
 	case "epochs":
 		for _, se := range p.Supers {
-			fmt.Printf("super-epoch %d: %d epochs, %d Mflop\n",
+			fmt.Fprintf(stdout, "super-epoch %d: %d epochs, %d Mflop\n",
 				se.Index, len(se.Epochs), se.Flops/1e6)
 			for _, ep := range se.Epochs[:min(3, len(se.Epochs))] {
-				fmt.Printf("  epoch %d: %d units in %d equivalence classes\n",
+				fmt.Fprintf(stdout, "  epoch %d: %d units in %d equivalence classes\n",
 					ep.Index, len(ep.Units), len(ep.Classes))
 			}
 			if len(se.Epochs) > 3 {
-				fmt.Printf("  ... %d more epochs\n", len(se.Epochs)-3)
+				fmt.Fprintf(stdout, "  ... %d more epochs\n", len(se.Epochs)-3)
 			}
 		}
 	case "tree":
 		if p.Tree == nil {
-			fmt.Println("(no adaptive variables)")
-			return
+			fmt.Fprintln(stdout, "(no adaptive variables)")
+			return 0
 		}
-		fmt.Print(p.Tree.Render())
-	default:
-		fmt.Fprintf(os.Stderr, "astra-trace: unknown -show %q\n", *show)
-		os.Exit(1)
+		fmt.Fprint(stdout, p.Tree.Render())
 	}
+	return 0
 }
 
 // showConvergence runs an instrumented exploration and prints the
 // exploration-convergence timeline: the trial at which each adaptive
 // variable froze at its measured best (the §6.3/Table 7 view).
-func showConvergence(m *astra.Model) {
+func showConvergence(stdout io.Writer, m *astra.Model) {
 	sess := astra.Compile(m, astra.Options{})
 	sess.Instrument()
 	stats := sess.Explore()
 	ws := sess.Internal()
 	if ws.Exp == nil {
-		fmt.Println("(no adaptive variables)")
+		fmt.Fprintln(stdout, "(no adaptive variables)")
 		return
 	}
-	fmt.Printf("exploration converged after %d trials (%.0f us simulated)\n\n", stats.Configs, ws.ClockUs)
-	fmt.Printf("%7s  %-40s %s\n", "trial", "variable", "wired choice")
+	fmt.Fprintf(stdout, "exploration converged after %d trials (%.0f us simulated)\n\n", stats.Configs, ws.ClockUs)
+	fmt.Fprintf(stdout, "%7s  %-40s %s\n", "trial", "variable", "wired choice")
 	byID := map[string]string{}
 	for _, v := range ws.Exp.Vars() {
 		byID[v.ID] = v.CurrentLabel()
 	}
 	for _, p := range ws.Exp.ConvergenceTimeline() {
-		fmt.Printf("%7d  %-40s %s\n", p.Trial, p.VarID, byID[p.VarID])
+		fmt.Fprintf(stdout, "%7d  %-40s %s\n", p.Trial, p.VarID, byID[p.VarID])
 	}
 }
 

@@ -102,6 +102,19 @@ func (e *Explorer) FrozenCount() (frozen, total int) {
 	return frozen, len(e.vars)
 }
 
+// FrozenVarIDs returns the IDs of the currently frozen variables, sorted —
+// the stable form event logs and analyzers diff across batches.
+func (e *Explorer) FrozenVarIDs() []string {
+	var out []string
+	for _, v := range e.vars {
+		if v.Frozen() {
+			out = append(out, v.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ConvergencePoint is one entry of the exploration-convergence timeline.
 type ConvergencePoint struct {
 	VarID string

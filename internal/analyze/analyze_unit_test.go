@@ -1,0 +1,212 @@
+package analyze
+
+import (
+	"testing"
+
+	"astra/internal/obs"
+)
+
+func TestClass(t *testing.T) {
+	cases := map[string]string{
+		"gemm_cublas_64x64x64": ClassGEMM,
+		"ew_sigmoid":           ClassEW,
+		"copy":                 ClassCopy,
+		"allreduce.b0.s3":      ClassAllReduce,
+		"mystery":              ClassOther,
+	}
+	for name, want := range cases {
+		if got := Class(name); got != want {
+			t.Errorf("Class(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// synthetic profile: two streams.
+//
+//	stream 0: gemm [10, 110]   launched at 10, then ew [115, 165] launched
+//	          at 12 but FIFO-free at 110 and wait-bound to 115 by an event
+//	          on stream 1 (tag "epoch")
+//	stream 1: copy [20, 115]   launched at 20
+//
+// CPU finished dispatching at 30; device drained at 165; wall 165.
+func syntheticProfile() obs.BatchProfile {
+	return obs.BatchProfile{
+		Worker: 0, Streams: 2, CommStream: -1,
+		CPUUs: 165, EndUs: 165, NumSMs: 56, SMBusyUs: 0,
+		Kernels: []obs.KernelSample{
+			{Name: "gemm_cublas_64", Stream: 0, LaunchUs: 10, StartUs: 10, EndUs: 110,
+				FreeUs: 0, WaitUs: 0, WaitStream: -1},
+			{Name: "copy", Stream: 1, LaunchUs: 20, StartUs: 20, EndUs: 115,
+				FreeUs: 0, WaitUs: 0, WaitStream: -1},
+			{Name: "ew_add", Stream: 0, LaunchUs: 12, StartUs: 115, EndUs: 165,
+				FreeUs: 110, WaitUs: 115, WaitStream: 1, WaitTag: "epoch"},
+		},
+	}
+}
+
+func TestCriticalPathSynthetic(t *testing.T) {
+	p := syntheticProfile()
+	path := CriticalPath(&p)
+	// Expected walk: ew [115,165] → wait bound → copy [20,115] → launch
+	// bound → dispatch [0,20].
+	if len(path) != 3 {
+		t.Fatalf("path has %d segments: %+v", len(path), path)
+	}
+	if path[0].Kind != ClassDispatch || path[0].StartUs != 0 || path[0].EndUs != 20 {
+		t.Fatalf("segment 0 = %+v", path[0])
+	}
+	if path[1].Name != "copy" || path[2].Name != "ew_add" {
+		t.Fatalf("path kernels: %+v", path)
+	}
+	if err := verifyChain(path, 165); err != nil {
+		t.Fatal(err)
+	}
+	b := blame(path)
+	if b[ClassDispatch] != 20 || b[ClassCopy] != 95 || b[ClassEW] != 50 {
+		t.Fatalf("blame = %v", b)
+	}
+}
+
+func TestCriticalPathCPUBound(t *testing.T) {
+	p := obs.BatchProfile{Worker: 2, Streams: 1, CommStream: -1, CPUUs: 500, EndUs: 400,
+		Kernels: []obs.KernelSample{
+			{Name: "ew_x", Stream: 0, LaunchUs: 5, StartUs: 5, EndUs: 400, WaitStream: -1},
+		}}
+	path := CriticalPath(&p)
+	if len(path) != 1 || path[0].Kind != ClassDispatch || path[0].EndUs != 500 {
+		t.Fatalf("CPU-bound path = %+v", path)
+	}
+	if path[0].Worker != 2 {
+		t.Fatalf("worker not carried: %+v", path[0])
+	}
+}
+
+func TestCriticalPathEmptyProfile(t *testing.T) {
+	p := obs.BatchProfile{Worker: 0, Streams: 1, CommStream: -1, CPUUs: 42, EndUs: 0}
+	path := CriticalPath(&p)
+	if len(path) != 1 || path[0].Kind != ClassDispatch || path[0].EndUs != 42 {
+		t.Fatalf("kernel-free path = %+v", path)
+	}
+	empty := obs.BatchProfile{}
+	if got := CriticalPath(&empty); got != nil {
+		t.Fatalf("zero profile path = %+v", got)
+	}
+}
+
+func TestStreamTimelinesSynthetic(t *testing.T) {
+	p := syntheticProfile()
+	tls := StreamTimelines(&p, 200) // cluster horizon beyond this worker's wall
+	if len(tls) != 2 {
+		t.Fatalf("%d timelines", len(tls))
+	}
+	for _, tl := range tls {
+		if err := verifyChain(tl.Segments, 200); err != nil {
+			t.Fatalf("stream %d: %v", tl.Stream, err)
+		}
+	}
+	// Stream 0: launch_gap [0,10], busy gemm, epoch_wait [110,115] (launch
+	// was at 12 < free at 110, so the whole gap is the wait), busy ew,
+	// straggler_wait [165,200].
+	kinds := func(tl StreamTimeline) []string {
+		var out []string
+		for _, s := range tl.Segments {
+			out = append(out, s.Kind)
+		}
+		return out
+	}
+	want0 := []string{IdleLaunchGap, "busy", IdleEpochWait, "busy", IdleStragglerWait}
+	got0 := kinds(tls[0])
+	if len(got0) != len(want0) {
+		t.Fatalf("stream 0 kinds = %v", got0)
+	}
+	for i := range want0 {
+		if got0[i] != want0[i] {
+			t.Fatalf("stream 0 kinds = %v, want %v", got0, want0)
+		}
+	}
+	if seg := tls[0].Segments[2]; seg.StartUs != 110 || seg.EndUs != 115 {
+		t.Fatalf("epoch wait = %+v", seg)
+	}
+	// Stream 1: launch_gap [0,20], busy copy, drain [115,165],
+	// straggler_wait [165,200].
+	want1 := []string{IdleLaunchGap, "busy", IdleDrain, IdleStragglerWait}
+	got1 := kinds(tls[1])
+	if len(got1) != len(want1) {
+		t.Fatalf("stream 1 kinds = %v", got1)
+	}
+	for i := range want1 {
+		if got1[i] != want1[i] {
+			t.Fatalf("stream 1 kinds = %v, want %v", got1, want1)
+		}
+	}
+}
+
+func TestWaitTagCategories(t *testing.T) {
+	cases := map[string]string{
+		"epoch": IdleEpochWait, "barrier": IdleBarrierWait,
+		"bucket": IdleBucketStall, "commjoin": IdleExposedComm,
+		"": IdleSyncWait, "novel": IdleSyncWait,
+	}
+	for tag, want := range cases {
+		if got := waitTagCategory(tag); got != want {
+			t.Errorf("waitTagCategory(%q) = %q, want %q", tag, got, want)
+		}
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	u := union([]interval{{5, 10}, {0, 6}, {20, 30}, {25, 28}})
+	if len(u) != 2 || u[0] != (interval{0, 10}) || u[1] != (interval{20, 30}) {
+		t.Fatalf("union = %+v", u)
+	}
+	if got := lengthUs(u); got != 20 {
+		t.Fatalf("length = %v", got)
+	}
+	x := intersect(u, []interval{{8, 22}})
+	if len(x) != 2 || x[0] != (interval{8, 10}) || x[1] != (interval{20, 22}) {
+		t.Fatalf("intersect = %+v", x)
+	}
+	if union(nil) != nil || len(intersect(nil, u)) != 0 {
+		t.Fatal("empty interval ops")
+	}
+}
+
+func TestOverlapStats(t *testing.T) {
+	p := obs.BatchProfile{Worker: 0, Streams: 2, CommStream: 1, CPUUs: 100, EndUs: 100,
+		Kernels: []obs.KernelSample{
+			{Name: "gemm_a_1", Stream: 0, StartUs: 0, EndUs: 60, WaitStream: -1},
+			{Name: "allreduce.b0.s0", Stream: 1, StartUs: 40, EndUs: 90, WaitStream: -1},
+		}}
+	o := Overlap(&p)
+	if o.CommBusyUs != 50 || o.ComputeBusyUs != 60 || o.OverlapUs != 20 {
+		t.Fatalf("overlap = %+v", o)
+	}
+	if o.IdealUs != 50 || o.ExposedUs != 30 || o.Efficiency != 0.4 {
+		t.Fatalf("derived overlap = %+v", o)
+	}
+	noComm := Overlap(&obs.BatchProfile{})
+	if noComm.Efficiency != 1 || noComm.ExposedUs != 0 {
+		t.Fatalf("comm-free overlap = %+v", noComm)
+	}
+}
+
+func TestVerifyChainRejects(t *testing.T) {
+	bad := [][]Segment{
+		{{StartUs: 5, EndUs: 10}},                          // does not start at 0
+		{{StartUs: 0, EndUs: 4}, {StartUs: 5, EndUs: 10}},  // gap
+		{{StartUs: 0, EndUs: 6}, {StartUs: 5, EndUs: 10}},  // overlap
+		{{StartUs: 0, EndUs: 9}},                           // short of horizon
+		{{StartUs: 0, EndUs: 10}, {StartUs: 10, EndUs: 9}}, // backwards
+	}
+	for i, segs := range bad {
+		if err := verifyChain(segs, 10); err == nil {
+			t.Errorf("case %d accepted: %+v", i, segs)
+		}
+	}
+	if err := verifyChain(nil, 0); err != nil {
+		t.Errorf("empty chain at zero horizon: %v", err)
+	}
+	if err := verifyChain(nil, 1); err == nil {
+		t.Error("empty chain accepted for positive horizon")
+	}
+}

@@ -1,0 +1,111 @@
+package analyze
+
+import "astra/internal/obs"
+
+// ConvergeReport is the exploration-convergence account of a run, derived
+// purely from its event log: the Table 7-style trials-to-freeze number, the
+// per-variable freeze timeline, re-exploration activity, and a regret
+// curve.
+//
+// Regret is measured against the best wired batch time observed in the
+// same run — a documented proxy for the exhaustive-search optimum, which
+// is infeasible to enumerate for real plans (the search space is the
+// product of every adaptive variable's domain). With the simulator's
+// deterministic clock the wired schedule replays exactly, so the proxy is
+// stable run to run.
+type ConvergeReport struct {
+	// Trials is the exploration batch count, TotalVars the adaptive
+	// variable count, and TrialsToFreeze the trial at which every variable
+	// was frozen (0 when the run never converged or had no variables).
+	Trials         int `json:"trials"`
+	TotalVars      int `json:"total_vars"`
+	TrialsToFreeze int `json:"trials_to_freeze"`
+	// Reexplorations counts in-session thaw/re-explore rounds;
+	// DriftEvents counts wired batches on which the drift watchdog fired.
+	Reexplorations int `json:"reexplorations"`
+	DriftEvents    int `json:"drift_events"`
+	// ExploreUs/WiredUs split the run's simulated time by phase.
+	ExploreUs    float64 `json:"explore_us"`
+	WiredUs      float64 `json:"wired_us"`
+	WiredBatches int     `json:"wired_batches"`
+	// BestWiredUs is the regret reference; MeanWiredUs the average wired
+	// batch.
+	BestWiredUs float64 `json:"best_wired_us"`
+	MeanWiredUs float64 `json:"mean_wired_us"`
+	// Regret is the per-trial regret curve: each exploration batch's time
+	// minus BestWiredUs (how much the trial overpaid against the final
+	// schedule). CumRegretUs sums it — the total simulated cost of
+	// exploring online instead of already knowing the answer.
+	Regret      []RegretPoint `json:"regret,omitempty"`
+	CumRegretUs float64       `json:"cum_regret_us"`
+	// Freezes is the per-variable freeze timeline reconstructed from the
+	// events' Froze fields.
+	Freezes []FreezePoint `json:"freezes,omitempty"`
+}
+
+// RegretPoint is one exploration trial's regret sample.
+type RegretPoint struct {
+	Trial    int     `json:"trial"`
+	BatchUs  float64 `json:"batch_us"`
+	RegretUs float64 `json:"regret_us"`
+}
+
+// FreezePoint records one variable freezing (or re-freezing after a thaw).
+type FreezePoint struct {
+	Trial int    `json:"trial"`
+	Batch int    `json:"batch"`
+	VarID string `json:"var_id"`
+}
+
+// convergeFromEvents builds the report from an event log.
+func convergeFromEvents(events []obs.TrialEvent) *ConvergeReport {
+	r := &ConvergeReport{}
+	for i := range events {
+		ev := &events[i]
+		if ev.TotalVars > r.TotalVars {
+			r.TotalVars = ev.TotalVars
+		}
+		if ev.Reexplorations > r.Reexplorations {
+			r.Reexplorations = ev.Reexplorations
+		}
+		if ev.Drift {
+			r.DriftEvents++
+		}
+		for _, id := range ev.Froze {
+			r.Freezes = append(r.Freezes, FreezePoint{Trial: ev.Trial, Batch: ev.Batch, VarID: id})
+		}
+		switch ev.Phase {
+		case "explore":
+			r.Trials++
+			r.ExploreUs += ev.BatchUs
+			if r.TrialsToFreeze == 0 && ev.TotalVars > 0 && ev.FrozenVars == ev.TotalVars {
+				r.TrialsToFreeze = ev.Trial
+			}
+		default:
+			r.WiredBatches++
+			r.WiredUs += ev.BatchUs
+			if r.BestWiredUs == 0 || ev.BatchUs < r.BestWiredUs {
+				r.BestWiredUs = ev.BatchUs
+			}
+			// A wired batch can complete convergence after a drift thaw.
+			if r.TrialsToFreeze == 0 && ev.TotalVars > 0 && ev.FrozenVars == ev.TotalVars {
+				r.TrialsToFreeze = ev.Trial
+			}
+		}
+	}
+	if r.WiredBatches > 0 {
+		r.MeanWiredUs = r.WiredUs / float64(r.WiredBatches)
+	}
+	if r.BestWiredUs > 0 {
+		for i := range events {
+			ev := &events[i]
+			if ev.Phase != "explore" {
+				continue
+			}
+			p := RegretPoint{Trial: ev.Trial, BatchUs: ev.BatchUs, RegretUs: ev.BatchUs - r.BestWiredUs}
+			r.Regret = append(r.Regret, p)
+			r.CumRegretUs += p.RegretUs
+		}
+	}
+	return r
+}

@@ -1,0 +1,188 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+)
+
+// Report emitters. All iteration is over sorted keys and all numbers use
+// fixed-width formatting, so the text output for a given run is
+// byte-identical across machines and analyzer worker counts.
+
+// pct renders a share of a total as a percentage (0 total → 0%).
+func pct(v, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * v / total
+}
+
+// WritePathReport renders the critical-path attribution: run-level blame by
+// class, then a per-batch breakdown.
+func WritePathReport(w io.Writer, run *Run) error {
+	if _, err := fmt.Fprintf(w, "critical path — %d analyzed batches, %.2f µs analyzed time\n",
+		len(run.Batches), run.AnalyzedUs); err != nil {
+		return err
+	}
+	for _, k := range sortedKeys(run.PathBlame) {
+		v := run.PathBlame[k]
+		if _, err := fmt.Fprintf(w, "  %-12s %14.2f µs  %5.1f%%\n", k, v, pct(v, run.AnalyzedUs)); err != nil {
+			return err
+		}
+	}
+	for _, ba := range run.Batches {
+		if _, err := fmt.Fprintf(w, "batch %d (%s): wall %.2f µs, %d path segments, bound by worker %d\n",
+			ba.Batch, ba.Phase, ba.WallUs, len(ba.Path), ba.PathWorker); err != nil {
+			return err
+		}
+		for _, k := range sortedKeys(ba.PathBlame) {
+			v := ba.PathBlame[k]
+			if _, err := fmt.Fprintf(w, "  %-12s %14.2f µs  %5.1f%%\n", k, v, pct(v, ba.WallUs)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteUtilReport renders the utilization and idle-gap taxonomy.
+func WriteUtilReport(w io.Writer, run *Run) error {
+	busy, idle := 0.0, 0.0
+	for _, k := range sortedKeys(run.BusyUs) {
+		busy += run.BusyUs[k]
+	}
+	for _, k := range sortedKeys(run.IdleUs) {
+		idle += run.IdleUs[k]
+	}
+	total := busy + idle
+	if _, err := fmt.Fprintf(w, "utilization — %d analyzed batches, %.2f µs of stream time (%.1f%% busy)\n",
+		len(run.Batches), total, pct(busy, total)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "busy by class:"); err != nil {
+		return err
+	}
+	for _, k := range sortedKeys(run.BusyUs) {
+		v := run.BusyUs[k]
+		if _, err := fmt.Fprintf(w, "  %-15s %14.2f µs  %5.1f%%\n", k, v, pct(v, total)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "idle by category:"); err != nil {
+		return err
+	}
+	for _, k := range sortedKeys(run.IdleUs) {
+		v := run.IdleUs[k]
+		if _, err := fmt.Fprintf(w, "  %-15s %14.2f µs  %5.1f%%\n", k, v, pct(v, total)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteOverlapReport renders per-batch compute/communication overlap
+// efficiency.
+func WriteOverlapReport(w io.Writer, run *Run) error {
+	fabric := run.Fabric
+	if fabric == "" {
+		fabric = "none"
+	}
+	if _, err := fmt.Fprintf(w, "overlap — fabric %s, %d workers\n", fabric, run.Workers); err != nil {
+		return err
+	}
+	any := false
+	for _, ba := range run.Batches {
+		if ba.Overlap.CommBusyUs == 0 {
+			continue
+		}
+		any = true
+		o := ba.Overlap
+		if _, err := fmt.Fprintf(w,
+			"batch %d (%s): comm %.2f µs, compute %.2f µs, overlapped %.2f µs of ideal %.2f µs (%.1f%%), exposed %.2f µs\n",
+			ba.Batch, ba.Phase, o.CommBusyUs, o.ComputeBusyUs, o.OverlapUs, o.IdealUs,
+			100*o.Efficiency, o.ExposedUs); err != nil {
+			return err
+		}
+	}
+	if !any {
+		if _, err := fmt.Fprintln(w, "no communication kernels in any analyzed batch"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteConvergeReport renders the exploration-convergence analytics.
+func WriteConvergeReport(w io.Writer, run *Run) error {
+	c := run.Converge
+	if _, err := fmt.Fprintf(w,
+		"convergence — %d trials over %d vars, converged at trial %d, %d re-exploration(s), %d drift event(s)\n",
+		c.Trials, c.TotalVars, c.TrialsToFreeze, c.Reexplorations, c.DriftEvents); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"explore %.2f µs, wired %.2f µs over %d batches (best %.2f µs, mean %.2f µs)\n",
+		c.ExploreUs, c.WiredUs, c.WiredBatches, c.BestWiredUs, c.MeanWiredUs); err != nil {
+		return err
+	}
+	if len(c.Regret) > 0 {
+		if _, err := fmt.Fprintf(w, "cumulative regret vs best wired: %.2f µs\n", c.CumRegretUs); err != nil {
+			return err
+		}
+		for _, p := range c.Regret {
+			if _, err := fmt.Fprintf(w, "  trial %3d: %14.2f µs  regret %14.2f µs\n",
+				p.Trial, p.BatchUs, p.RegretUs); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range c.Freezes {
+		if _, err := fmt.Fprintf(w, "  froze %-30s at trial %d (batch %d)\n", f.VarID, f.Trial, f.Batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDiffReport renders run-vs-run delta attribution.
+func WriteDiffReport(w io.Writer, d *DiffReport) error {
+	if _, err := fmt.Fprintf(w, "diff — A %.2f µs, B %.2f µs, delta %+.2f µs\n",
+		d.TotalAUs, d.TotalBUs, d.DeltaUs); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "aligned %d batches (delta %+.2f µs; unaligned A %.2f µs, B %.2f µs)\n",
+		d.AlignedBatches, d.AlignedDeltaUs, d.UnalignedAUs, d.UnalignedBUs); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "delta by critical-path class:"); err != nil {
+		return err
+	}
+	for _, k := range sortedKeys(d.ByClass) {
+		if _, err := fmt.Fprintf(w, "  %-12s %+14.2f µs\n", k, d.ByClass[k]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "delta by phase:"); err != nil {
+		return err
+	}
+	for _, k := range sortedKeys(d.ByPhase) {
+		if _, err := fmt.Fprintf(w, "  %-12s %+14.2f µs\n", k, d.ByPhase[k]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "idle-category delta:"); err != nil {
+		return err
+	}
+	for _, k := range sortedKeys(d.ByCategory) {
+		if _, err := fmt.Fprintf(w, "  %-15s %+14.2f µs\n", k, d.ByCategory[k]); err != nil {
+			return err
+		}
+	}
+	if d.TopClass != "" {
+		if _, err := fmt.Fprintf(w, "blame: %s (%.1f%% of aligned delta)\n",
+			d.TopClass, 100*d.TopClassShare); err != nil {
+			return err
+		}
+	}
+	return nil
+}

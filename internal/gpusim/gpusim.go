@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"strings"
 
 	"astra/internal/tensor"
 )
@@ -83,6 +84,12 @@ type FaultConfig struct {
 	ThrottleStartBatch int
 	ThrottleBatches    int
 	ThrottleFactor     float64
+	// ThrottleClass restricts the throttle window to kernels whose name
+	// starts with this prefix (e.g. "gemm" hits only the GEMM libraries,
+	// "allreduce" only communication). Empty throttles every kernel. This
+	// is the perturbation the analyzer's diff mode is validated against: a
+	// class-targeted fault must show up as blame on exactly that class.
+	ThrottleClass string
 }
 
 // Enabled reports whether any fault injection is configured.
@@ -117,9 +124,15 @@ type KernelSpec struct {
 // stream it was recorded on drains past the record point.
 type Event struct {
 	id       int
+	stream   int // stream the event was recorded on
 	resolved bool
 	timeUs   float64
 }
+
+// Stream returns the stream the event was recorded on — the producer side
+// of a cross-stream dependency, which the trace analyzer follows when a
+// wait on this event turns out to be a kernel's binding constraint.
+func (e *Event) Stream() int { return e.stream }
 
 // Resolved reports whether the event's timestamp is known (i.e. the device
 // has been synchronized past it).
@@ -139,7 +152,15 @@ func (e *Event) TimeUs() float64 {
 func Elapsed(start, end *Event) float64 { return end.TimeUs() - start.TimeUs() }
 
 // KernelRecord is the simulator's account of one executed kernel, used by
-// tests and by the profiler to attribute time.
+// tests, by the profiler, and by the trace analyzer to attribute time.
+//
+// StartUs is always max(LaunchUs, FreeUs, WaitUs): a kernel starts the
+// moment its launch arrives, its stream drains, and every awaited event has
+// resolved — whichever is last. Recording all three operands (exact float
+// copies of the simulated clock, never recomputed) lets the analyzer
+// identify the binding constraint of every kernel start with zero
+// tolerance, which is what makes exact critical-path reconstruction
+// possible.
 type KernelRecord struct {
 	Name       string
 	Stream     int
@@ -149,6 +170,16 @@ type KernelRecord struct {
 	Tiles      int
 	TileTimeUs float64
 	SMTimeUs   float64 // integral of SMs occupied over time
+
+	// FreeUs is the stream's drain time when the kernel started (the
+	// previous kernel's EndUs, 0 for the first on the stream); WaitUs the
+	// stream's resolved event-wait horizon, with WaitStream the stream the
+	// horizon-setting event was recorded on (-1 when no wait applied) and
+	// WaitTag the dispatcher-supplied label of that wait (WaitEventTag).
+	FreeUs     float64
+	WaitUs     float64
+	WaitStream int
+	WaitTag    string
 }
 
 // DurationUs returns the kernel's device-side duration.
@@ -167,6 +198,7 @@ type item struct {
 	arrivalUs float64 // CPU launch time
 	kern      *kernel
 	event     *Event // record target or wait source
+	tag       string // dispatcher label of a wait (WaitEventTag)
 }
 
 type kernel struct {
@@ -190,6 +222,11 @@ type stream struct {
 	busy      *kernel // FIFO: at most one kernel in flight per stream
 	lastDone  float64 // device time the last kernel on this stream finished
 	waitUntil float64 // earliest device time the next item may start
+	// waitStream/waitTag carry the provenance of the current waitUntil: the
+	// stream the horizon-setting event was recorded on and the dispatcher's
+	// label for the wait. Copied into each starting kernel's record.
+	waitStream int
+	waitTag    string
 }
 
 func (s *stream) pending() int { return len(s.queue) - s.head }
@@ -304,7 +341,7 @@ func NewDevice(cfg Config) *Device {
 		rng:      tensor.NewRNG(cfg.Seed),
 		faultRNG: tensor.NewRNG(fseed),
 	}
-	d.streams = []*stream{{}}
+	d.streams = []*stream{{waitStream: -1}}
 	return d
 }
 
@@ -329,7 +366,7 @@ func (d *Device) Config() Config { return d.cfg }
 // EnsureStreams grows the stream set to at least n streams.
 func (d *Device) EnsureStreams(n int) {
 	for len(d.streams) < n {
-		d.streams = append(d.streams, &stream{})
+		d.streams = append(d.streams, &stream{waitStream: -1})
 	}
 }
 
@@ -377,6 +414,8 @@ func (d *Device) Reset() {
 		s.busy = nil
 		s.lastDone = 0
 		s.waitUntil = 0
+		s.waitStream = -1
+		s.waitTag = ""
 	}
 }
 
@@ -404,7 +443,8 @@ func (d *Device) Launch(streamID int, spec KernelSpec) *KernelRecord {
 		}
 		jitter *= factor
 	}
-	if d.Throttled() {
+	if d.Throttled() && (d.cfg.Faults.ThrottleClass == "" ||
+		strings.HasPrefix(spec.Name, d.cfg.Faults.ThrottleClass)) {
 		factor := d.cfg.Faults.ThrottleFactor
 		if factor <= 1 {
 			factor = 1.3
@@ -438,6 +478,7 @@ func (d *Device) RecordEvent(streamID int) *Event {
 	d.eventSeq++
 	e := d.newEvent()
 	e.id = d.eventSeq
+	e.stream = streamID
 	s.push(item{kind: itemRecord, arrivalUs: d.cpuUs, event: e})
 	return e
 }
@@ -445,9 +486,18 @@ func (d *Device) RecordEvent(streamID int) *Event {
 // WaitEvent makes subsequent work on the stream wait until the event
 // resolves (cudaStreamWaitEvent).
 func (d *Device) WaitEvent(streamID int, e *Event) {
+	d.WaitEventTag(streamID, e, "")
+}
+
+// WaitEventTag is WaitEvent with a dispatcher-supplied label describing why
+// the wait exists ("epoch", "barrier", "bucket", ...). The tag is copied
+// onto the KernelRecord of any kernel whose start is held back by this wait,
+// so trace analysis can classify the resulting idle gap without re-deriving
+// dispatcher intent from kernel names.
+func (d *Device) WaitEventTag(streamID int, e *Event, tag string) {
 	s := d.stream(streamID)
 	d.cpuUs += 0.2
-	s.push(item{kind: itemWait, arrivalUs: d.cpuUs, event: e})
+	s.push(item{kind: itemWait, arrivalUs: d.cpuUs, event: e, tag: tag})
 }
 
 // Synchronize drains all streams (cudaDeviceSynchronize): the simulation
@@ -580,6 +630,8 @@ func (d *Device) startEligibleWork() {
 					}
 					if it.event.timeUs > s.waitUntil {
 						s.waitUntil = it.event.timeUs
+						s.waitStream = it.event.stream
+						s.waitTag = it.tag
 					}
 					s.advance()
 					progress = true
@@ -591,6 +643,13 @@ func (d *Device) startEligibleWork() {
 					k := it.kern
 					k.started = true
 					k.rec.StartUs = eligible
+					// Record the three operands of the start-time max so the
+					// analyzer can reconstruct which constraint bound this
+					// kernel (exact float copies: zero-tolerance matching).
+					k.rec.FreeUs = s.lastDone
+					k.rec.WaitUs = s.waitUntil
+					k.rec.WaitStream = s.waitStream
+					k.rec.WaitTag = s.waitTag
 					k.readyAt = eligible + k.setupUs
 					s.busy = k
 					d.running = append(d.running, k)

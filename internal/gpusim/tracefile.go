@@ -40,6 +40,38 @@ func (d *Device) ExportSpansTo(tr *obs.Tracer, offsetUs float64, devPID, queuePI
 	}
 }
 
+// Profile copies the device's kernel records since the last Reset into a
+// self-contained obs.BatchProfile for the given data-parallel rank — the
+// input format of internal/analyze. The samples are deep copies: unlike
+// Records, the result stays valid across Reset.
+func (d *Device) Profile(worker int) obs.BatchProfile {
+	p := obs.BatchProfile{
+		Worker:     worker,
+		Streams:    len(d.streams),
+		CommStream: -1,
+		CPUUs:      d.cpuUs,
+		EndUs:      d.simUs,
+		NumSMs:     d.cfg.NumSMs,
+		SMBusyUs:   d.smBusyUs,
+		Kernels:    make([]obs.KernelSample, len(d.records)),
+	}
+	for i, r := range d.records {
+		p.Kernels[i] = obs.KernelSample{
+			Name:       r.Name,
+			Stream:     r.Stream,
+			LaunchUs:   r.LaunchUs,
+			StartUs:    r.StartUs,
+			EndUs:      r.EndUs,
+			SMTimeUs:   r.SMTimeUs,
+			FreeUs:     r.FreeUs,
+			WaitUs:     r.WaitUs,
+			WaitStream: r.WaitStream,
+			WaitTag:    r.WaitTag,
+		}
+	}
+	return p
+}
+
 // WriteChromeTrace exports the device's kernel records since the last
 // Reset in the Chrome trace-event object form ({"traceEvents": [...]}),
 // with "M"-phase metadata naming the device and launch-queue processes and

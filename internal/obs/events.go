@@ -53,6 +53,21 @@ type TrialEvent struct {
 	// batch's configuration (rendered one per line); empty when the
 	// binding verified clean or was already checked.
 	VerifyFindings []string `json:"verify_findings,omitempty"`
+	// Fabric names the interconnect of a multi-GPU session ("pcie3",
+	// "nvlink1"); empty for single-GPU sessions.
+	Fabric string `json:"fabric,omitempty"`
+	// Froze lists the adaptive-variable IDs the explorer froze during this
+	// batch, sorted; Reexplorations counts watchdog-triggered re-explore
+	// rounds completed so far. Together with FrozenVars/TotalVars these
+	// drive the analyzer's convergence report.
+	Froze          []string `json:"froze,omitempty"`
+	Reexplorations int      `json:"reexplorations,omitempty"`
+	// Profiles carries the full per-worker kernel timelines of the batch
+	// (one BatchProfile per data-parallel rank). This is what
+	// internal/analyze consumes to rebuild the dependency graph, so the
+	// record is self-contained: an event log alone suffices to answer
+	// "where did this batch's time go".
+	Profiles []BatchProfile `json:"profiles,omitempty"`
 }
 
 // EventLog writes TrialEvents as JSON Lines. The zero sink is valid: Emit

@@ -233,8 +233,59 @@ func promFloat(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
+// MetricValue is one entry of a Registry snapshot.
+type MetricValue struct {
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string
+	// Value is the counter/gauge value; for histograms, the sum of all
+	// observations.
+	Value float64
+	// Count is the histogram observation count (0 for counters/gauges).
+	Count uint64
+}
+
+// Snapshot returns a point-in-time copy of every registered metric, keyed
+// by the dotted registration name (not the sanitized Prometheus name).
+// Analyzers and tests should read values here instead of parsing the text
+// exposition.
+func (r *Registry) Snapshot() map[string]MetricValue {
+	r.mu.Lock()
+	metrics := make(map[string]interface{}, len(r.metrics))
+	for n, m := range r.metrics {
+		metrics[n] = m
+	}
+	r.mu.Unlock()
+	out := make(map[string]MetricValue, len(metrics))
+	for n, m := range metrics {
+		switch m := m.(type) {
+		case *Counter:
+			out[n] = MetricValue{Kind: "counter", Value: m.Value()}
+		case *Gauge:
+			out[n] = MetricValue{Kind: "gauge", Value: m.Value()}
+		case *Histogram:
+			out[n] = MetricValue{Kind: "histogram", Value: m.Sum(), Count: m.Count()}
+		}
+	}
+	return out
+}
+
 // WriteProm renders the registry in the Prometheus text exposition format
-// (v0.0.4), sorted by metric name so output is deterministic.
+// (v0.0.4). The output format is a stable contract:
+//
+//   - metric families appear in ascending order of their dotted
+//     registration name (bytewise, i.e. sort.Strings);
+//   - each family renders an optional "# HELP" line (only when help text
+//     was registered), then "# TYPE", then its sample lines;
+//   - dotted names are sanitized to the Prometheus charset by replacing
+//     every character outside [a-zA-Z0-9_:] with '_' (explore.trials →
+//     explore_trials);
+//   - values are rendered with %g, +Inf as "+Inf";
+//   - histograms emit cumulative "_bucket{le="..."}" lines in ascending
+//     bound order, a final le="+Inf" bucket, then "_sum" and "_count".
+//
+// Identical registry contents therefore always produce byte-identical
+// output; tools may diff expositions directly. Programs that only need
+// values should use Snapshot instead of parsing this text.
 func (r *Registry) WriteProm(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.metrics))

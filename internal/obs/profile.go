@@ -1,0 +1,64 @@
+package obs
+
+// KernelSample is the analyzer-facing copy of one simulated kernel
+// execution. It carries, besides the observable interval, the exact
+// operands of the simulator's start-time rule
+//
+//	StartUs = max(LaunchUs, FreeUs, WaitUs)
+//
+// so a trace analyzer can reconstruct — with zero tolerance, since the
+// clock is simulated and the values are exact float copies — which
+// constraint bound each kernel: CPU dispatch (LaunchUs), the stream FIFO
+// (FreeUs), or a cross-stream event wait (WaitUs, with WaitStream/WaitTag
+// naming the source stream and the dispatcher's reason for the wait).
+type KernelSample struct {
+	Name     string  `json:"name"`
+	Stream   int     `json:"stream"`
+	LaunchUs float64 `json:"launch_us"`
+	StartUs  float64 `json:"start_us"`
+	EndUs    float64 `json:"end_us"`
+	SMTimeUs float64 `json:"sm_time_us"`
+	FreeUs   float64 `json:"free_us"`
+	WaitUs   float64 `json:"wait_us"`
+	// WaitStream is -1 when no event wait constrained the kernel.
+	WaitStream int    `json:"wait_stream"`
+	WaitTag    string `json:"wait_tag,omitempty"`
+}
+
+// DurationUs returns the kernel's device-side duration.
+func (k *KernelSample) DurationUs() float64 { return k.EndUs - k.StartUs }
+
+// BatchProfile is one device's complete kernel timeline for one mini-batch,
+// in launch order. Multi-GPU sessions attach one per worker. This is the
+// substrate of the internal/analyze dependency graph (and of the planned
+// what-if replayer): everything the analyzer computes derives from these
+// samples plus the batch envelope below.
+type BatchProfile struct {
+	// Worker is the data-parallel rank (0 for single-GPU sessions).
+	Worker int `json:"worker"`
+	// Streams is the number of device streams the batch used.
+	Streams int `json:"streams"`
+	// CommStream is the stream carrying gradient all-reduce kernels, -1
+	// when the batch had no communication.
+	CommStream int `json:"comm_stream"`
+	// CPUUs is the dispatcher's CPU clock at batch end; EndUs the device
+	// clock (max kernel EndUs, or CPUUs for a CPU-bound batch). The
+	// worker's batch wall time is max(CPUUs, EndUs).
+	CPUUs float64 `json:"cpu_us"`
+	EndUs float64 `json:"end_us"`
+	// NumSMs and SMBusyUs give device occupancy: SMBusyUs is the integral
+	// of occupied SMs over device time.
+	NumSMs   int     `json:"num_sms"`
+	SMBusyUs float64 `json:"sm_busy_us"`
+	// Kernels is every kernel the batch launched, in launch order.
+	Kernels []KernelSample `json:"kernels"`
+}
+
+// WallUs returns the worker's batch wall time: the later of CPU dispatch
+// completing and the device draining.
+func (p *BatchProfile) WallUs() float64 {
+	if p.CPUUs > p.EndUs {
+		return p.CPUUs
+	}
+	return p.EndUs
+}

@@ -163,7 +163,7 @@ func (r *Runner) launchBucketAllReduce(st *dispatchState, cs *commState, bucket 
 		readyOn[s] = true
 		ready := r.recordEvent(st, s)
 		if cs.stream != s {
-			r.Dev.WaitEvent(cs.stream, ready)
+			r.Dev.WaitEventTag(cs.stream, ready, "bucket")
 			st.events++
 		}
 	}

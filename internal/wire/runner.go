@@ -272,7 +272,7 @@ func (r *Runner) RunBatch(inputs graph.Env, params graph.Env) BatchResult {
 	// before the end-of-batch span is recorded.
 	if st.comm != nil && st.comm.stream != 0 {
 		done := r.recordEvent(st, st.comm.stream)
-		r.Dev.WaitEvent(0, done)
+		r.Dev.WaitEventTag(0, done, "commjoin")
 		st.events++
 	}
 	if r.Cfg.Profile {
@@ -390,14 +390,14 @@ func (r *Runner) dispatchEpoch(st *dispatchState, se *enumerate.SuperEpoch, ep *
 		if !st.usedStreams[stream] {
 			for i, ev := range st.barrierEvents {
 				if st.barrierStream[i] != stream {
-					r.Dev.WaitEvent(stream, ev)
+					r.Dev.WaitEventTag(stream, ev, "barrier")
 					st.events++
 				}
 			}
 		}
 		for i, ev := range st.prevEpochEvents {
 			if st.prevEpochStream[i] != stream {
-				r.Dev.WaitEvent(stream, ev)
+				r.Dev.WaitEventTag(stream, ev, "epoch")
 				st.events++ // waits cost the same bookkeeping CPU time
 			}
 		}
@@ -461,7 +461,7 @@ func (r *Runner) superEpochBarrier(st *dispatchState) {
 			if j == i {
 				continue // a stream need not wait on its own event
 			}
-			r.Dev.WaitEvent(s, ev)
+			r.Dev.WaitEventTag(s, ev, "barrier")
 			st.events++
 		}
 	}

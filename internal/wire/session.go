@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"astra/internal/adapt"
+	"astra/internal/analyze"
 	"astra/internal/autodiff"
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
@@ -330,6 +331,16 @@ func (s *Session) Instrument(tel *obs.Telemetry) {
 	tel.Metrics.Gauge("sim.pool_reused", "simulator hot-path objects served from free-lists")
 	tel.Metrics.Gauge("sim.pool_allocated", "simulator hot-path objects freshly allocated")
 	tel.Metrics.Counter("session.drift_events", "wired-phase drift watchdog firings")
+	// Trace-analytics summaries: internal/analyze runs on every batch's
+	// kernel profiles and folds the headline numbers into the registry.
+	tel.Metrics.Counter("analyze.critical_path_us", "critical-path length summed over analyzed batches")
+	tel.Metrics.Counter("analyze.path_dispatch_us", "critical-path time attributed to CPU dispatch")
+	tel.Metrics.Counter("analyze.exposed_comm_us", "communication time not hidden behind compute")
+	tel.Metrics.Counter("analyze.launch_gap_us", "device idle waiting on kernel launches")
+	tel.Metrics.Counter("analyze.barrier_wait_us", "device idle at super-epoch barriers")
+	tel.Metrics.Counter("analyze.bucket_stall_us", "comm stream idle waiting on gradient buckets")
+	tel.Metrics.Counter("analyze.straggler_wait_us", "worker idle waiting for the slowest worker")
+	tel.Metrics.Gauge("analyze.overlap_efficiency", "achieved/ideal comm overlap of the last analyzed batch")
 	// The wire-time verification ran before telemetry attached; seed the
 	// counters with what has accumulated so far.
 	tel.Metrics.Counter("verify.configs", "distinct configurations checked by the plan verifier").Add(float64(s.VerifyConfigs))
@@ -373,10 +384,32 @@ func (s *Session) explorerBindings() map[string]string {
 	return out
 }
 
+// collectProfiles snapshots every worker's kernel timeline for the batch
+// just run (device records stay valid until the next Reset). The comm
+// stream index is stamped on so the analyzer can tell exchange lanes from
+// compute lanes without parsing kernel names.
+func (s *Session) collectProfiles() []obs.BatchProfile {
+	out := make([]obs.BatchProfile, 0, 1+len(s.Peers))
+	p := s.Runner.Dev.Profile(0)
+	if s.Runner.Cfg.Comm.Enabled() {
+		p.CommStream = s.Runner.CommStream()
+	}
+	out = append(out, p)
+	for i, peer := range s.Peers {
+		pp := peer.Dev.Profile(i + 1)
+		if peer.Cfg.Comm.Enabled() {
+			pp.CommStream = peer.CommStream()
+		}
+		out = append(out, pp)
+	}
+	return out
+}
+
 // recordBatchTelemetry emits the batch's span, counter samples, registry
 // updates and event-log record. startUs is the session clock at batch
-// start; bindings were captured before the explorer advanced.
-func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]string, exploring, detail, drift bool) {
+// start; bindings were captured before the explorer advanced, froze lists
+// the variables that froze during it.
+func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]string, froze []string, exploring, detail, drift bool) {
 	tel := s.Obs
 	startUs := s.ClockUs
 	endUs := startUs + res.TotalUs
@@ -442,8 +475,13 @@ func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]str
 		tel.Trace.AddCounter(obs.PIDExplore, "distsim.comm_us", endUs, map[string]float64{"us": res.CommUs})
 	}
 
-	// One structured record per mini-batch.
-	_ = tel.Events.Emit(obs.TrialEvent{
+	// One structured record per mini-batch, carrying the full per-worker
+	// kernel profiles — an event log alone is enough for astra-analyze.
+	reexp := 0
+	if s.Exp != nil {
+		reexp = s.Exp.Reexplorations()
+	}
+	ev := obs.TrialEvent{
 		Batch:          s.Batches,
 		Trial:          s.Trials,
 		Phase:          phase,
@@ -462,7 +500,26 @@ func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]str
 		CommUs:         res.CommUs,
 		WorkerUs:       res.WorkerUs,
 		VerifyFindings: append([]string(nil), s.stepVerify...),
-	})
+		Fabric:         s.Runner.Cfg.Comm.Fabric,
+		Froze:          froze,
+		Reexplorations: reexp,
+		Profiles:       s.collectProfiles(),
+	}
+
+	// Fold the batch's trace analytics into the registry. The analyzer
+	// reads the profiles just collected; its reconciliations are exact, so
+	// these counters partition simulated time, never estimate it.
+	if ba, err := analyze.AnalyzeBatch(&ev); err == nil && ba != nil {
+		tel.Metrics.Counter("analyze.critical_path_us", "").Add(ba.WallUs)
+		tel.Metrics.Counter("analyze.path_dispatch_us", "").Add(ba.PathBlame[analyze.ClassDispatch])
+		tel.Metrics.Counter("analyze.exposed_comm_us", "").Add(ba.Overlap.ExposedUs)
+		tel.Metrics.Counter("analyze.launch_gap_us", "").Add(ba.IdleUs[analyze.IdleLaunchGap])
+		tel.Metrics.Counter("analyze.barrier_wait_us", "").Add(ba.IdleUs[analyze.IdleBarrierWait])
+		tel.Metrics.Counter("analyze.bucket_stall_us", "").Add(ba.IdleUs[analyze.IdleBucketStall])
+		tel.Metrics.Counter("analyze.straggler_wait_us", "").Add(ba.IdleUs[analyze.IdleStragglerWait])
+		tel.Metrics.Gauge("analyze.overlap_efficiency", "").Set(ba.Overlap.Efficiency)
+	}
+	_ = tel.Events.Emit(ev)
 }
 
 // nameCommLane labels a worker's communication stream in the trace; a no-op
@@ -517,11 +574,15 @@ func (s *Session) Step() BatchResult {
 		}
 	}
 	var bindings map[string]string
+	var froze []string
 	drift := false
 	if exploring {
+		var prevFrozen []string
 		if s.Obs != nil {
-			// Capture the tried configuration before Advance moves on.
+			// Capture the tried configuration before Advance moves on, and
+			// the frozen set before this batch's measurements land.
 			bindings = s.explorerBindings()
+			prevFrozen = s.Exp.FrozenVarIDs()
 		}
 		s.Exp.Observe(res.Metrics)
 		s.Exp.Advance()
@@ -529,6 +590,9 @@ func (s *Session) Step() BatchResult {
 		s.ExploreUs += res.TotalUs
 		// Any wired expectation is stale once exploration runs again.
 		s.driftExpectUs = 0
+		if s.Obs != nil {
+			froze = newlyFrozen(prevFrozen, s.Exp.FrozenVarIDs())
+		}
 	}
 	s.Batches++
 	if !exploring {
@@ -537,10 +601,28 @@ func (s *Session) Step() BatchResult {
 	}
 	s.ProfOverheadUs += res.ProfilingOverheadUs()
 	if s.Obs != nil {
-		s.recordBatchTelemetry(&res, bindings, exploring, detail, drift)
+		s.recordBatchTelemetry(&res, bindings, froze, exploring, detail, drift)
 	}
 	s.ClockUs += res.TotalUs
 	return res
+}
+
+// newlyFrozen returns the IDs in cur but not prev; both inputs are sorted
+// (adapt.Explorer.FrozenVarIDs), so one merge pass suffices and the result
+// stays sorted.
+func newlyFrozen(prev, cur []string) []string {
+	var out []string
+	i := 0
+	for _, id := range cur {
+		for i < len(prev) && prev[i] < id {
+			i++
+		}
+		if i < len(prev) && prev[i] == id {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
 }
 
 // Explore runs mini-batches until the exploration converges, returning the
