@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet verify lint race bench bench-json experiments experiments-quick cover cover-check analyze clean
+.PHONY: all build test test-short vet verify lint race bench bench-json experiments experiments-quick cover cover-check analyze whatif clean
 
 all: build lint test race
 
@@ -65,6 +65,19 @@ analyze:
 	$(GO) run ./cmd/astra-analyze -events $(ANALYZE_EVENTS) -report all -parallel 4 > $(ANALYZE_EVENTS).p4
 	cmp $(ANALYZE_EVENTS).p1 $(ANALYZE_EVENTS).p4
 	@echo "analyze: reconciliation exact, output byte-identical at -parallel 1 vs 4"
+
+# What-if smoke: record a two-worker run, replay the fabric × ring-size
+# scenario matrix, validate every prediction against ground-truth
+# re-simulation within 5%, and prove the matrix output byte-identical at
+# -parallel 1 vs 4 (CI's whatif-smoke job runs this).
+WHATIF_EVENTS ?= /tmp/astra-whatif-smoke.jsonl
+whatif:
+	$(GO) run ./cmd/astra-run -model sublstm -level FK -steps 2 -workers 2 -fabric pcie3 -events-out $(WHATIF_EVENTS) > /dev/null
+	$(GO) run ./cmd/astra-whatif -events $(WHATIF_EVENTS) -matrix -fabrics pcie3,nvlink1 -workers-list 1,2,4,8 -check -tolerance 5
+	$(GO) run ./cmd/astra-whatif -events $(WHATIF_EVENTS) -matrix -fabrics pcie3,nvlink1 -workers-list 1,2,4,8 -json -parallel 1 > $(WHATIF_EVENTS).p1
+	$(GO) run ./cmd/astra-whatif -events $(WHATIF_EVENTS) -matrix -fabrics pcie3,nvlink1 -workers-list 1,2,4,8 -json -parallel 4 > $(WHATIF_EVENTS).p4
+	cmp $(WHATIF_EVENTS).p1 $(WHATIF_EVENTS).p4
+	@echo "whatif: predictions within tolerance, output byte-identical at -parallel 1 vs 4"
 
 # Reduced per-table benchmarks (batch 16/32), with allocation stats.
 bench:

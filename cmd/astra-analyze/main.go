@@ -59,6 +59,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "astra-analyze: -diff needs exactly two logs: astra-analyze -diff a.jsonl b.jsonl")
 			return 2
 		}
+		if reportSet {
+			// -report would be silently meaningless here; refuse instead.
+			fmt.Fprintln(stderr, "astra-analyze: -report cannot be combined with -diff (the diff is its own report)")
+			return 2
+		}
+		if *events != "" {
+			fmt.Fprintln(stderr, "astra-analyze: -diff takes its two logs as positional arguments, not -events")
+			return 2
+		}
 		ra, err := loadRun(fs.Arg(0), *par, *check)
 		if err != nil {
 			fmt.Fprintln(stderr, "astra-analyze:", err)
@@ -81,8 +90,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	path := *events
-	if path == "" && fs.NArg() == 1 {
+	switch {
+	case path != "" && fs.NArg() > 0:
+		fmt.Fprintf(stderr, "astra-analyze: unexpected arguments %q alongside -events %s\n", fs.Args(), path)
+		return 2
+	case path == "" && fs.NArg() == 1:
 		path = fs.Arg(0)
+	case path == "" && fs.NArg() > 1:
+		fmt.Fprintf(stderr, "astra-analyze: got %d event logs; analyze one at a time, or compare two with -diff\n", fs.NArg())
+		return 2
 	}
 	if path == "" {
 		fmt.Fprintln(stderr, "astra-analyze: no event log; pass -events run.jsonl (see astra-run -events-out)")

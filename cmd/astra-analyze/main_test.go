@@ -222,6 +222,10 @@ func TestFlagValidation(t *testing.T) {
 		{[]string{}, 2, "no event log"},
 		{[]string{"-diff", events}, 2, "exactly two logs"},
 		{[]string{"-events", filepath.Join(dir, "missing.jsonl")}, 1, "missing.jsonl"},
+		{[]string{"-events", events, "stray.jsonl"}, 2, "unexpected arguments"},
+		{[]string{events, events}, 2, "analyze one at a time"},
+		{[]string{"-diff", "-report", "util", events, events}, 2, "-report cannot be combined with -diff"},
+		{[]string{"-diff", "-events", events, events, events}, 2, "positional arguments, not -events"},
 	}
 	for _, tc := range cases {
 		_, stderr, code := runCLI(t, tc.args...)

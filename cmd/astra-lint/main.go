@@ -38,6 +38,7 @@ var defaultDirs = []string{
 	"internal/enumerate",
 	"internal/parallel",
 	"internal/analyze",
+	"internal/whatif",
 }
 
 func main() {

@@ -27,22 +27,24 @@ package analyze
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"astra/internal/obs"
 	"astra/internal/parallel"
 )
 
-// Kernel classes and segment kinds. Classes partition kernel names by the
-// library conventions of internal/kernels and internal/wire.
+// Kernel classes and segment kinds. The classing itself lives in obs
+// (obs.KernelClass) so the simulator's fault injection and the what-if
+// engine's cost perturbations attribute to exactly the same classes the
+// blame reports use; the aliases keep this package's callers unchanged.
 const (
-	ClassGEMM      = "gemm"
-	ClassEW        = "ew"
-	ClassCopy      = "copy"
-	ClassAllReduce = "allreduce"
-	ClassOther     = "other"
+	ClassGEMM      = obs.ClassGEMM
+	ClassEW        = obs.ClassEW
+	ClassCopy      = obs.ClassCopy
+	ClassAllReduce = obs.ClassAllReduce
+	ClassOther     = obs.ClassOther
 	// ClassDispatch labels critical-path time spent on the serial CPU
-	// dispatcher rather than any device kernel.
+	// dispatcher rather than any device kernel (analyzer-only: no kernel
+	// name maps to it).
 	ClassDispatch = "dispatch"
 )
 
@@ -92,21 +94,9 @@ func waitTagCategory(tag string) string {
 	}
 }
 
-// Class returns the kernel class of a recorded kernel name.
-func Class(name string) string {
-	switch {
-	case strings.HasPrefix(name, "allreduce."):
-		return ClassAllReduce
-	case strings.HasPrefix(name, "gemm_"):
-		return ClassGEMM
-	case strings.HasPrefix(name, "ew_"):
-		return ClassEW
-	case strings.HasPrefix(name, "copy"):
-		return ClassCopy
-	default:
-		return ClassOther
-	}
-}
+// Class returns the kernel class of a recorded kernel name (an alias of
+// obs.KernelClass, kept for this package's callers).
+func Class(name string) string { return obs.KernelClass(name) }
 
 // Segment is one interval of a critical path or of a stream timeline.
 // Critical-path segments chain contiguously from 0 to the batch wall time;

@@ -1,6 +1,7 @@
 package analyze
 
 import (
+	"encoding/json"
 	"testing"
 
 	"astra/internal/obs"
@@ -187,6 +188,93 @@ func TestOverlapStats(t *testing.T) {
 	noComm := Overlap(&obs.BatchProfile{})
 	if noComm.Efficiency != 1 || noComm.ExposedUs != 0 {
 		t.Fatalf("comm-free overlap = %+v", noComm)
+	}
+}
+
+func TestDependenciesSynthetic(t *testing.T) {
+	p := syntheticProfile()
+	deps := Dependencies(&p)
+	want := []Dep{
+		{FIFO: -1, Wait: -1}, // gemm: first on stream 0, no wait
+		{FIFO: -1, Wait: -1}, // copy: first on stream 1, no wait
+		{FIFO: 0, Wait: 1},   // ew: after gemm on stream 0, wait on copy's end
+	}
+	if len(deps) != len(want) {
+		t.Fatalf("deps = %+v", deps)
+	}
+	for i := range want {
+		if deps[i] != want[i] {
+			t.Fatalf("dep %d = %+v, want %+v", i, deps[i], want[i])
+		}
+	}
+	// A wait whose producer end matches no kernel (event resolved at CPU
+	// arrival) yields Wait -1.
+	p.Kernels[2].WaitUs = 117
+	deps = Dependencies(&p)
+	if deps[2].Wait != -1 || deps[2].FIFO != 0 {
+		t.Fatalf("unmatched wait dep = %+v", deps[2])
+	}
+}
+
+// runOf builds a minimal analyzed Run for Diff tests: one aligned batch with
+// the given wall time and per-class blame.
+func runOf(wall float64, blame map[string]float64) *Run {
+	return &Run{
+		TotalUs: wall,
+		Batches: []*BatchAnalysis{{
+			Batch: 1, Phase: "wired", WallUs: wall,
+			PathBlame: blame,
+			IdleUs:    map[string]float64{},
+		}},
+	}
+}
+
+func TestDiffIdenticalRunsMarshals(t *testing.T) {
+	// Regression guard: diffing a run against itself must yield zero deltas
+	// with an empty TopClass and share 0 — never NaN, which would make
+	// astra-analyze -diff -json fail at json.Marshal.
+	a := runOf(100, map[string]float64{ClassGEMM: 60, ClassDispatch: 40})
+	d := Diff(a, a)
+	if d.DeltaUs != 0 || d.AlignedDeltaUs != 0 || d.AlignedBatches != 1 {
+		t.Fatalf("self-diff = %+v", d)
+	}
+	if d.TopClass != "" || d.TopClassShare != 0 {
+		t.Fatalf("self-diff blame = %q/%v, want \"\"/0", d.TopClass, d.TopClassShare)
+	}
+	if _, err := json.Marshal(d); err != nil {
+		t.Fatalf("self-diff does not marshal: %v", err)
+	}
+}
+
+func TestDiffCancellingDeltasZeroShare(t *testing.T) {
+	// Per-class deltas that cancel exactly (gemm +10, ew −10) leave a zero
+	// aligned delta: dividing by it would be ±Inf. No net delta → no blame.
+	a := runOf(100, map[string]float64{ClassGEMM: 50, ClassEW: 50})
+	b := runOf(100, map[string]float64{ClassGEMM: 60, ClassEW: 40})
+	d := Diff(a, b)
+	if d.AlignedDeltaUs != 0 {
+		t.Fatalf("aligned delta = %v", d.AlignedDeltaUs)
+	}
+	if d.TopClass != "" || d.TopClassShare != 0 {
+		t.Fatalf("cancelling blame = %q/%v, want \"\"/0", d.TopClass, d.TopClassShare)
+	}
+	if d.ByClass[ClassGEMM] != 10 || d.ByClass[ClassEW] != -10 {
+		t.Fatalf("by-class = %v", d.ByClass)
+	}
+	if _, err := json.Marshal(d); err != nil {
+		t.Fatalf("cancelling diff does not marshal: %v", err)
+	}
+}
+
+func TestDiffTopClassShareOfAbsoluteDelta(t *testing.T) {
+	// A speedup (negative delta) must report the share as a fraction of
+	// |AlignedDeltaUs|: gemm −30 of a −30 total is share −1 (sign carries
+	// the direction of the top class's own delta).
+	a := runOf(100, map[string]float64{ClassGEMM: 60, ClassEW: 40})
+	b := runOf(70, map[string]float64{ClassGEMM: 30, ClassEW: 40})
+	d := Diff(a, b)
+	if d.TopClass != ClassGEMM || d.TopClassShare != -1 {
+		t.Fatalf("speedup blame = %q/%v, want %q/-1", d.TopClass, d.TopClassShare, ClassGEMM)
 	}
 }
 

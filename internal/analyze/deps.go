@@ -1,0 +1,52 @@
+package analyze
+
+import "astra/internal/obs"
+
+// Dep holds the dependency edges of one kernel in a recorded batch profile,
+// as indices into BatchProfile.Kernels (-1 = no such edge). These are the
+// same edges the critical-path walk re-derives on the fly; exporting them
+// lets the what-if replayer mutate kernel costs and re-schedule the batch
+// without re-discovering the graph.
+type Dep struct {
+	// FIFO is the stream-FIFO predecessor: the previous kernel launched on
+	// the same stream, whose end is the kernel's FreeUs operand. -1 for the
+	// first kernel of a stream (FreeUs 0).
+	FIFO int
+	// Wait is the producer whose end resolved the kernel's binding event
+	// wait: the kernel on WaitStream ending exactly at WaitUs (the latest
+	// such launch wins, matching the critical-path tie-break). -1 when the
+	// kernel recorded no wait, or when no kernel end matches — the event
+	// then resolved at its CPU arrival time (the producing stream had
+	// already drained past it), which replay treats as a recorded constant.
+	Wait int
+}
+
+// Dependencies rebuilds the per-kernel dependency edges of one worker's
+// batch from the exact recorded start-rule operands
+// (StartUs = max(LaunchUs, FreeUs, WaitUs)); see obs.KernelSample.
+func Dependencies(p *obs.BatchProfile) []Dep {
+	deps := make([]Dep, len(p.Kernels))
+	lastOnStream := map[int]int{}
+	endsAt := map[int]map[float64]int{} // stream → end time → latest kernel index
+	for i := range p.Kernels {
+		k := &p.Kernels[i]
+		d := Dep{FIFO: -1, Wait: -1}
+		if prev, ok := lastOnStream[k.Stream]; ok {
+			d.FIFO = prev
+		}
+		if k.WaitUs > 0 {
+			if j, ok := endsAt[k.WaitStream][k.WaitUs]; ok {
+				d.Wait = j
+			}
+		}
+		deps[i] = d
+		lastOnStream[k.Stream] = i
+		m := endsAt[k.Stream]
+		if m == nil {
+			m = map[float64]int{}
+			endsAt[k.Stream] = m
+		}
+		m[k.EndUs] = i // latest index wins
+	}
+	return deps
+}

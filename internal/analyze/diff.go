@@ -32,6 +32,10 @@ type DiffReport struct {
 	ByCategory map[string]float64 `json:"by_category"`
 	// TopClass is the class with the largest absolute delta and
 	// TopClassShare its fraction of |AlignedDeltaUs| (the "blame" line).
+	// When the aligned delta is zero — identical runs, or per-class deltas
+	// that cancel exactly — there is no meaningful blame: TopClass is empty
+	// and TopClassShare 0, never NaN or ±Inf (the JSON encoder rejects
+	// those).
 	TopClass      string  `json:"top_class"`
 	TopClassShare float64 `json:"top_class_share"`
 }
@@ -89,8 +93,13 @@ func subMap(dst, b, a map[string]float64) {
 
 // topClass picks the class with the largest absolute delta (ties break to
 // the lexically first name, so the result is deterministic) and its share
-// of the total aligned delta.
+// of |total|. A zero total yields ("", 0): dividing by it would produce
+// NaN/Inf, which json.Marshal refuses — and with no net delta there is
+// nothing to blame even when individual class deltas cancel.
 func topClass(byClass map[string]float64, total float64) (string, float64) {
+	if total == 0 {
+		return "", 0
+	}
 	names := make([]string, 0, len(byClass))
 	for k := range byClass { // nodeterm:ok keys are sorted before use
 		names = append(names, k)
@@ -102,10 +111,10 @@ func topClass(byClass map[string]float64, total float64) (string, float64) {
 			top, best = k, v
 		}
 	}
-	if top == "" || total == 0 {
+	if top == "" {
 		return top, 0
 	}
-	return top, byClass[top] / total
+	return top, byClass[top] / abs(total)
 }
 
 func abs(v float64) float64 {

@@ -53,6 +53,12 @@ type Options struct {
 	// MaxEpochTuples bounds the exhaustive product within one epoch;
 	// classes beyond it keep the static round-robin stream assignment.
 	MaxEpochTuples int
+
+	// Preset records which named preset produced these options (set by
+	// PresetOptions, empty for hand-assembled options). It changes no
+	// enumeration behaviour; sessions stamp it into their event logs so a
+	// log alone suffices to rebuild an equivalent plan.
+	Preset string
 }
 
 // Preset names the cumulative feature levels of the evaluation tables.
@@ -68,7 +74,7 @@ const (
 
 // PresetOptions returns the options for a named preset.
 func PresetOptions(p Preset) Options {
-	o := Options{FusionAdapt: true, ElementwiseFusion: true}
+	o := Options{FusionAdapt: true, ElementwiseFusion: true, Preset: string(p)}
 	switch p {
 	case PresetF:
 	case PresetFK:

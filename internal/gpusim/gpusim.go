@@ -29,8 +29,8 @@ import (
 	"fmt"
 	"math"
 	"slices"
-	"strings"
 
+	"astra/internal/obs"
 	"astra/internal/tensor"
 )
 
@@ -84,11 +84,14 @@ type FaultConfig struct {
 	ThrottleStartBatch int
 	ThrottleBatches    int
 	ThrottleFactor     float64
-	// ThrottleClass restricts the throttle window to kernels whose name
-	// starts with this prefix (e.g. "gemm" hits only the GEMM libraries,
-	// "allreduce" only communication). Empty throttles every kernel. This
-	// is the perturbation the analyzer's diff mode is validated against: a
-	// class-targeted fault must show up as blame on exactly that class.
+	// ThrottleClass restricts the throttle window to kernels of exactly
+	// this class (obs.KernelClass: "gemm", "ew", "copy", "allreduce",
+	// "other" — the same classing the analyzer's blame uses). Empty
+	// throttles every kernel. This is the perturbation the analyzer's diff
+	// mode is validated against: a class-targeted fault must show up as
+	// blame on exactly that class — which is why the match is by class,
+	// not name prefix: a prefix like "gemm" would also catch an
+	// unrelated "gemmish_*" kernel and smear the attribution.
 	ThrottleClass string
 }
 
@@ -244,8 +247,19 @@ func (s *stream) advance() {
 func (s *stream) push(it item) { s.queue = append(s.queue, it) }
 
 // Device is the simulated GPU plus the dispatching CPU's timeline.
+// CostOverride scales kernel execution time by class — the hook the what-if
+// checker uses to re-simulate a "class got N× faster" scenario for ground
+// truth. Factors multiply the kernel's tile time (0.5 = twice as fast);
+// classes absent from the map, and non-positive factors, are untouched.
+// Unlike FaultConfig the override is deterministic, batch-independent, and
+// applied to every matching kernel.
+type CostOverride struct {
+	ClassTimeFactors map[string]float64
+}
+
 type Device struct {
 	cfg       Config
+	override  CostOverride
 	cpuUs     float64
 	simUs     float64
 	freeSMs   int
@@ -363,6 +377,10 @@ func (d *Device) Throttled() bool {
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
 
+// SetCostOverride installs (or, with a zero value, clears) a per-class
+// execution-time override. It applies from the next Launch onward.
+func (d *Device) SetCostOverride(o CostOverride) { d.override = o }
+
 // EnsureStreams grows the stream set to at least n streams.
 func (d *Device) EnsureStreams(n int) {
 	for len(d.streams) < n {
@@ -444,12 +462,17 @@ func (d *Device) Launch(streamID int, spec KernelSpec) *KernelRecord {
 		jitter *= factor
 	}
 	if d.Throttled() && (d.cfg.Faults.ThrottleClass == "" ||
-		strings.HasPrefix(spec.Name, d.cfg.Faults.ThrottleClass)) {
+		obs.KernelClass(spec.Name) == d.cfg.Faults.ThrottleClass) {
 		factor := d.cfg.Faults.ThrottleFactor
 		if factor <= 1 {
 			factor = 1.3
 		}
 		jitter *= factor
+	}
+	if len(d.override.ClassTimeFactors) > 0 {
+		if f, ok := d.override.ClassTimeFactors[obs.KernelClass(spec.Name)]; ok && f > 0 {
+			jitter *= f
+		}
 	}
 	rec := d.newRecord()
 	rec.Name = spec.Name

@@ -355,6 +355,64 @@ func TestThrottleWindow(t *testing.T) {
 	}
 }
 
+func TestThrottleClassMatchesClassNotPrefix(t *testing.T) {
+	// Regression: ThrottleClass used to match by name prefix, so throttling
+	// "gemm" also hit any kernel whose *name* merely starts with "gemm" —
+	// here "gemmish_x", which classifies as "other". The throttle must hit
+	// exactly the named class (obs.KernelClass), nothing else.
+	cfg := testConfig()
+	cfg.Faults = FaultConfig{ThrottleStartBatch: 1, ThrottleFactor: 2, ThrottleClass: obs.ClassGEMM}
+	d := NewDevice(cfg)
+	d.Reset()
+	hit := d.Launch(0, KernelSpec{Name: "gemm_fwd", Tiles: 56, TileTimeUs: 10})
+	miss := d.Launch(0, KernelSpec{Name: "gemmish_x", Tiles: 56, TileTimeUs: 10})
+	d.Synchronize()
+	if got := hit.DurationUs(); got != 1+20 {
+		t.Fatalf("gemm-class kernel not throttled: duration %v, want 21", got)
+	}
+	if got := miss.DurationUs(); got != 1+10 {
+		t.Fatalf("prefix-sharing other-class kernel throttled: duration %v, want 11", got)
+	}
+	// And the other direction: the class the prefix-shared kernel actually
+	// belongs to throttles it, leaving the gemm kernel alone.
+	cfg.Faults.ThrottleClass = obs.ClassOther
+	d2 := NewDevice(cfg)
+	d2.Reset()
+	g := d2.Launch(0, KernelSpec{Name: "gemm_fwd", Tiles: 56, TileTimeUs: 10})
+	o := d2.Launch(0, KernelSpec{Name: "gemmish_x", Tiles: 56, TileTimeUs: 10})
+	d2.Synchronize()
+	if g.DurationUs() != 11 || o.DurationUs() != 21 {
+		t.Fatalf("class=other: gemm %v (want 11), other %v (want 21)", g.DurationUs(), o.DurationUs())
+	}
+}
+
+func TestCostOverrideScalesClassDeterministically(t *testing.T) {
+	d := NewDevice(testConfig())
+	d.SetCostOverride(CostOverride{ClassTimeFactors: map[string]float64{
+		obs.ClassGEMM: 0.5,
+		obs.ClassEW:   0, // non-positive factors are ignored
+	}})
+	d.Reset()
+	g := d.Launch(0, KernelSpec{Name: "gemm_fwd", Tiles: 56, TileTimeUs: 10})
+	e := d.Launch(0, KernelSpec{Name: "ew_add", Tiles: 56, TileTimeUs: 10})
+	c := d.Launch(0, KernelSpec{Name: "copyH2D", Tiles: 56, TileTimeUs: 10})
+	d.Synchronize()
+	if g.DurationUs() != 1+5 {
+		t.Fatalf("gemm with 0.5 override: duration %v, want 6", g.DurationUs())
+	}
+	if e.DurationUs() != 11 || c.DurationUs() != 11 {
+		t.Fatalf("unaffected kernels changed: ew %v, copy %v (want 11)", e.DurationUs(), c.DurationUs())
+	}
+	// Clearing restores baseline.
+	d.SetCostOverride(CostOverride{})
+	d.Reset()
+	g2 := d.Launch(0, KernelSpec{Name: "gemm_fwd", Tiles: 56, TileTimeUs: 10})
+	d.Synchronize()
+	if g2.DurationUs() != 11 {
+		t.Fatalf("override not cleared: duration %v, want 11", g2.DurationUs())
+	}
+}
+
 func TestResetClearsState(t *testing.T) {
 	d := NewDevice(testConfig())
 	d.Launch(0, KernelSpec{Name: "k", Tiles: 8, TileTimeUs: 2})

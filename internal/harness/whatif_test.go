@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtWhatIfQuick runs the what-if validation experiment in quick mode:
+// every scenario cell of every model must land within tolerance, with the
+// identity rows exact.
+func TestExtWhatIfQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-session experiment")
+	}
+	tab, err := ExtWhatIf(Options{Quick: true, Parallel: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	identities := 0
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "PASS" {
+			t.Errorf("cell failed: %v", row)
+		}
+		if row[1] == "identity" {
+			identities++
+			if row[4] != "0.00%" {
+				t.Errorf("identity row not exact: %v", row)
+			}
+			if row[2] != row[3] {
+				t.Errorf("identity predicted != simulated: %v", row)
+			}
+		}
+	}
+	if identities == 0 {
+		t.Error("no identity rows")
+	}
+	if !strings.Contains(tab.String(), "ext-whatif") {
+		t.Error("table does not render its ID")
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import "strings"
+
+// Kernel classes. Classes partition kernel names by the library conventions
+// of internal/kernels and internal/wire; they are defined here — below both
+// the simulator and the analyzer — so fault injection (gpusim), blame
+// attribution (analyze) and cost perturbation (whatif) all agree on what
+// "the gemm class" means.
+const (
+	ClassGEMM      = "gemm"
+	ClassEW        = "ew"
+	ClassCopy      = "copy"
+	ClassAllReduce = "allreduce"
+	ClassOther     = "other"
+)
+
+// KernelClasses lists every kernel class, sorted — the valid-value list CLI
+// flag validation prints.
+func KernelClasses() []string {
+	return []string{ClassAllReduce, ClassCopy, ClassEW, ClassGEMM, ClassOther}
+}
+
+// KernelClass returns the class of a kernel name. Matching is by the
+// launch-name conventions ("gemm_*", "ew_*", "copy*", "allreduce.*"); names
+// outside them are ClassOther.
+func KernelClass(name string) string {
+	switch {
+	case strings.HasPrefix(name, "allreduce."):
+		return ClassAllReduce
+	case strings.HasPrefix(name, "gemm_"):
+		return ClassGEMM
+	case strings.HasPrefix(name, "ew_"):
+		return ClassEW
+	case strings.HasPrefix(name, "copy"):
+		return ClassCopy
+	default:
+		return ClassOther
+	}
+}

@@ -68,6 +68,31 @@ type TrialEvent struct {
 	// record is self-contained: an event log alone suffices to answer
 	// "where did this batch's time go".
 	Profiles []BatchProfile `json:"profiles,omitempty"`
+
+	// Session-construction metadata, stamped on every record by the wire
+	// session: enough for a what-if scenario checker (astra-whatif -check)
+	// to rebuild an equivalent session from the event log alone and
+	// re-simulate perturbed configurations for ground truth. Model names
+	// the zoo model, ModelScale how it was sized ("default", "tiny", or
+	// "custom" for hand-built configs the log cannot reconstruct), and
+	// PerDeviceBatch the per-worker mini-batch size.
+	Model          string `json:"model,omitempty"`
+	ModelScale     string `json:"model_scale,omitempty"`
+	PerDeviceBatch int    `json:"per_device_batch,omitempty"`
+	// Preset is the enumerate preset the plan was built with (empty for
+	// hand-assembled Options), and NumStreams the effective stream count.
+	Preset     string `json:"preset,omitempty"`
+	NumStreams int    `json:"num_streams,omitempty"`
+	// Seed, PerOpCPUUs, LaunchOverheadUs and KernelSetupUs pin the cost
+	// constants the run simulated under.
+	Seed             uint64  `json:"seed,omitempty"`
+	PerOpCPUUs       float64 `json:"per_op_cpu_us,omitempty"`
+	LaunchOverheadUs float64 `json:"launch_overhead_us,omitempty"`
+	KernelSetupUs    float64 `json:"kernel_setup_us,omitempty"`
+	// Noisy marks sessions with autoboost jitter or fault injection on;
+	// their timings are seed-path dependent and cannot be re-simulated
+	// from the log alone.
+	Noisy bool `json:"noisy,omitempty"`
 }
 
 // EventLog writes TrialEvents as JSON Lines. The zero sink is valid: Emit
