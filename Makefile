@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet verify lint race bench bench-json experiments experiments-quick cover cover-check analyze whatif clean
+.PHONY: all build test test-short vet verify lint race bench bench-json experiments experiments-quick cover cover-check analyze whatif serve serve-smoke clean
 
 all: build lint test race
 
@@ -78,6 +78,21 @@ whatif:
 	$(GO) run ./cmd/astra-whatif -events $(WHATIF_EVENTS) -matrix -fabrics pcie3,nvlink1 -workers-list 1,2,4,8 -json -parallel 4 > $(WHATIF_EVENTS).p4
 	cmp $(WHATIF_EVENTS).p1 $(WHATIF_EVENTS).p4
 	@echo "whatif: predictions within tolerance, output byte-identical at -parallel 1 vs 4"
+
+# Exploration service: run the multi-tenant astra-serve daemon locally
+# (HTTP/JSON API on 127.0.0.1:7411; see docs/SERVE.md).
+serve:
+	$(GO) run ./cmd/astra-serve
+
+# Service smoke (CI's serve-smoke job): drive the standard tenant mix
+# through the real HTTP stack twice — a cold pass, then a fully-warm repeat
+# that must score a 100% hit rate with zero wired-time drift — and finish
+# with a graceful drain. Then the ext-serve harness run: 1024 sessions
+# across 32 tenants against one shared fleet store, every result checked
+# against its solo baseline.
+serve-smoke:
+	$(GO) run ./cmd/astra-serve -smoke -smoke-tenants 8 -smoke-jobs 3
+	$(GO) run ./cmd/astra-bench -experiment ext-serve -parallel -1
 
 # Reduced per-table benchmarks (batch 16/32), with allocation stats.
 bench:

@@ -39,6 +39,7 @@ var defaultDirs = []string{
 	"internal/parallel",
 	"internal/analyze",
 	"internal/whatif",
+	"internal/serve",
 }
 
 func main() {

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"astra/internal/serve"
+)
+
+// syncBuffer lets the daemon goroutine write output while the test reads
+// it looking for the listen address.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunSmokeMode(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run([]string{"-smoke", "-smoke-tenants", "3", "-smoke-jobs", "2"},
+		context.Background(), &out, &errs)
+	if code != 0 {
+		t.Fatalf("smoke exit %d\nstdout: %s\nstderr: %s", code, out.String(), errs.String())
+	}
+	for _, want := range []string{"pass 1:", "pass 2:", "smoke OK", "clean drain"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("smoke output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBadFlagsAndFiles(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, context.Background(), &out, &errs); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	errs.Reset()
+	if code := run([]string{"-profile-in", "/no/such/file.json"}, context.Background(), &out, &errs); code != 1 {
+		t.Fatalf("missing profile-in exit %d, want 1", code)
+	}
+	if !strings.Contains(errs.String(), "astra-serve:") {
+		t.Fatalf("missing profile-in error not reported: %q", errs.String())
+	}
+	// A corrupt snapshot is refused, not half-loaded.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errs.Reset()
+	if code := run([]string{"-profile-in", bad}, context.Background(), &out, &errs); code != 1 {
+		t.Fatalf("corrupt profile-in exit %d, want 1", code)
+	}
+	if !strings.Contains(errs.String(), "seeding fleet store") {
+		t.Fatalf("corrupt profile-in error not reported: %q", errs.String())
+	}
+}
+
+// TestDaemonLifecycle boots the real daemon on an ephemeral port, submits a
+// job over HTTP, shuts it down via context cancellation (the signal path),
+// and checks the store snapshot written on exit seeds a fresh server.
+func TestDaemonLifecycle(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "fleet.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	var errs bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-profile-out", snap}, ctx, out, &errs)
+	}()
+
+	// The daemon prints its bound address; wait for it.
+	addrRe := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+	var base string
+	for i := 0; i < 1e6 && base == ""; i++ {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never reported its address:\n%s", out.String())
+	}
+
+	cl := &serve.Client{BaseURL: base, Stream: true}
+	res, err := cl.Submit(context.Background(), serve.Job{Tenant: "ci", Model: "scrnn", Level: "F"}, nil)
+	if err != nil {
+		t.Fatalf("submit to daemon: %v", err)
+	}
+	if res.WiredUs <= 0 || res.Trials == 0 {
+		t.Fatalf("daemon result implausible: %+v", res)
+	}
+
+	cancel() // SIGINT equivalent
+	if code := <-done; code != 0 {
+		t.Fatalf("daemon exit %d\nstdout: %s\nstderr: %s", code, out.String(), errs.String())
+	}
+	for _, want := range []string{"draining", "saved to", "clean shutdown"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("shutdown output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// The exit snapshot must seed warm starts in a fresh server.
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	defer f.Close()
+	s2 := serve.NewServer(serve.Config{})
+	if err := s2.Fleet().Load(f); err != nil {
+		t.Fatalf("snapshot unloadable: %v", err)
+	}
+	res2, err := s2.Submit(context.Background(), serve.Job{Model: "scrnn", Level: "F"}, nil)
+	if err != nil {
+		t.Fatalf("seeded submit: %v", err)
+	}
+	if !res2.WarmStart || res2.Trials != 0 || res2.WiredUs != res.WiredUs {
+		t.Fatalf("snapshot did not transfer warmth: %+v vs wired %v", res2, res.WiredUs)
+	}
+}

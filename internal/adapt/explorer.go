@@ -20,8 +20,13 @@ import (
 //	}
 //	// every variable is now frozen at its best choice
 type Explorer struct {
-	root   *Tree
-	ix     *profile.Index
+	root *Tree
+	ix   *profile.Index
+	// base is the root profile context every key is mangled under. The
+	// default "" reproduces the single-job layout; a long-running service
+	// sharing one index across jobs namespaces each job's keys with its job
+	// signature so mixed tenants never collide (see internal/serve).
+	base   string
 	vars   []*Var
 	done   bool
 	trials int
@@ -51,13 +56,23 @@ type Explorer struct {
 // NewExplorer initializes the tree and positions it at the first
 // configuration to measure.
 func NewExplorer(root *Tree, ix *profile.Index) *Explorer {
+	return NewExplorerAt(root, ix, "")
+}
+
+// NewExplorerAt is NewExplorer with an explicit base profile context: every
+// key the exploration records or probes is mangled under baseCtx instead of
+// the root context "". Exploration behaviour is identical for any baseCtx —
+// the context only shifts key identity — which is what lets many concurrent
+// jobs share one profile.Index without cross-talk, each under its own
+// namespace, while identical jobs (same baseCtx) warm-start off each other.
+func NewExplorerAt(root *Tree, ix *profile.Index, baseCtx string) *Explorer {
 	e := &Explorer{
-		root: root, ix: ix, vars: root.Vars(),
+		root: root, ix: ix, base: baseCtx, vars: root.Vars(),
 		frozeAt: map[string]int{}, wasFrozen: map[string]bool{},
 	}
 	root.Initialize()
 	ix.SetTrial(0)
-	e.done = e.setup(root, "")
+	e.done = e.setup(root, e.base)
 	e.noteFreezes()
 	return e
 }
@@ -204,7 +219,7 @@ func (e *Explorer) Advance() bool {
 	if e.mTrials != nil {
 		e.mTrials.Inc()
 	}
-	e.done = e.setup(e.root, "")
+	e.done = e.setup(e.root, e.base)
 	e.noteFreezes()
 	return !e.done
 }
@@ -254,7 +269,7 @@ func (e *Explorer) Thaw(varIDs ...string) int {
 // recomputes convergence — call it after mutating the index (Thaw does this
 // itself). It returns true when exploration has work to do again.
 func (e *Explorer) ReExplore() bool {
-	e.done = e.setup(e.root, "")
+	e.done = e.setup(e.root, e.base)
 	e.noteFreezes()
 	return !e.done
 }

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"astra/internal/parallel"
+	"astra/internal/serve"
+)
+
+func init() {
+	experiments["ext-serve"] = ExtServe
+}
+
+// ExtServe load-tests the exploration service: a fleet of concurrent
+// tenants drives the standard shape mix through one in-process server —
+// one shared fleet profile store — and every completed session is held to
+// the serving guarantee: wired times identical to a solo exploration of
+// the same shape on a private server, warm-started or not.
+//
+// Full mode runs 32 tenants x 32 jobs (1024 sessions over 8 distinct
+// shapes, warm-start hit rate well above the 50% serving target); quick
+// mode runs 8 x 4. Table rows report only deterministic facts (the solo
+// baselines and the fixed submission schedule); the scheduling-dependent
+// hit split is printed as progress and enforced only as a floor.
+func ExtServe(o Options) (*Table, error) {
+	tenants, jobsPer := 32, 32
+	if o.Quick {
+		tenants, jobsPer = 8, 4
+	}
+	mix := serve.DefaultMix()
+
+	// Solo ground truth: each shape on its own private server. These rows
+	// are fully deterministic — any Parallel value, any run.
+	type baseline struct {
+		job serve.Job
+		sig string
+		res *serve.Result
+	}
+	bases, err := parallel.Map(o.workers(), len(mix), func(i int) (baseline, error) {
+		res, err := serve.NewServer(serve.Config{}).Submit(context.Background(), mix[i], nil)
+		if err != nil {
+			return baseline{}, fmt.Errorf("ext-serve solo %d: %w", i, err)
+		}
+		o.progress("ext-serve solo %s done (%d trials, wired %.0fµs)", res.Signature, res.Trials, res.WiredUs)
+		return baseline{job: mix[i], sig: res.Signature, res: res}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	solo := map[string]*serve.Result{}
+	for _, b := range bases {
+		solo[b.sig] = b.res
+	}
+
+	// The shared run: one server, one fleet store, everyone at once.
+	srv := serve.NewServer(serve.Config{MaxInFlight: o.workers(), MaxQueue: tenants * jobsPer})
+	rep, err := serve.RunLoad(context.Background(), srv, serve.LoadConfig{
+		Tenants: tenants, JobsPerTenant: jobsPer, Mix: mix,
+	})
+	if err != nil {
+		return nil, err
+	}
+	o.progress("ext-serve load: %d/%d completed, hit rate %.2f, %d trials, max warm delta %.4f%%",
+		rep.Completed, rep.Submitted, rep.HitRate, rep.Trials, rep.MaxWarmDeltaPct)
+
+	// The serving guarantees, enforced as hard failures.
+	if rep.Completed != tenants*jobsPer || rep.Errors != 0 ||
+		rep.RejectedQueueFull != 0 || rep.RejectedDraining != 0 {
+		return nil, fmt.Errorf("ext-serve: %d of %d sessions did not complete (%d queue-full, %d errors: %s)",
+			rep.Submitted-rep.Completed, rep.Submitted, rep.RejectedQueueFull, rep.Errors, rep.FirstError)
+	}
+	if rep.GateViolations != 0 || rep.MaxWarmDeltaPct != 0 {
+		return nil, fmt.Errorf("ext-serve: warm results drifted from cold (max %.4f%%, %d gate violations)",
+			rep.MaxWarmDeltaPct, rep.GateViolations)
+	}
+	for sig, wired := range rep.ColdWiredUs {
+		want, ok := solo[sig]
+		if !ok {
+			return nil, fmt.Errorf("ext-serve: unexpected signature %s in load report", sig)
+		}
+		if wired != want.WiredUs {
+			return nil, fmt.Errorf("ext-serve %s: shared cold wired %.3fµs != solo %.3fµs (store sharing perturbed results)",
+				sig, wired, want.WiredUs)
+		}
+	}
+	minRate := 0.5
+	if o.Quick {
+		minRate = 0.25 // 32 sessions over 8 shapes: at least the repeats hit
+	}
+	if rep.HitRate < minRate {
+		return nil, fmt.Errorf("ext-serve: warm-start hit rate %.2f below the %.2f serving target", rep.HitRate, minRate)
+	}
+
+	// The deterministic submission schedule: tenant t's j-th job is
+	// mix[(t*7+j) % len(mix)].
+	sessions := map[string]int{}
+	for t := 0; t < tenants; t++ {
+		for j := 0; j < jobsPer; j++ {
+			jd, err := mix[(t*7+j)%len(mix)].Normalize()
+			if err != nil {
+				return nil, err
+			}
+			sessions[jd.Signature()]++
+		}
+	}
+
+	tbl := &Table{
+		ID: "ext-serve",
+		Title: fmt.Sprintf("Exploration service: %d tenants x %d jobs over one shared fleet store (tiny scale)",
+			tenants, jobsPer),
+		Header: []string{"Model", "level", "batch", "workers", "fabric", "sessions", "solo trials", "wired µs", "verdict"},
+		Notes: []string{
+			"wired µs: solo-exploration baseline; every shared-run session (cold or warm-started) matched it exactly",
+			"sessions: submissions of the shape across all tenants (fixed schedule mix[(t*7+j)%8])",
+			"warm-start hit split is scheduling-dependent and therefore reported as progress output, not table rows",
+			fmt.Sprintf("gate: warm wired within 0.1%% of cold (this run enforced an exact match), hit rate >= %.2f", minRate),
+		},
+	}
+	for _, b := range bases {
+		jd, err := b.job.Normalize()
+		if err != nil {
+			return nil, err
+		}
+		fab := jd.Fabric
+		if fab == "" {
+			fab = "-"
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			jd.Model, jd.Level, fmt.Sprintf("%d", jd.Batch), fmt.Sprintf("%d", jd.Workers), fab,
+			fmt.Sprintf("%d", sessions[b.sig]),
+			fmt.Sprintf("%d", b.res.Trials),
+			fmt.Sprintf("%.0f", b.res.WiredUs),
+			"PASS",
+		})
+	}
+	return tbl, nil
+}

@@ -2,6 +2,7 @@ package profile
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -40,6 +41,39 @@ func FuzzIndexLoad(f *testing.F) {
 		}
 		if again.Len() != ix.Len() {
 			t.Fatalf("round trip changed size: %d -> %d", ix.Len(), again.Len())
+		}
+
+		// Live-index discipline: the same snapshot must also load — in both
+		// modes — while another goroutine is recording and querying, the way
+		// a serving fleet store takes imports mid-run. The Len/size counter
+		// must stay consistent with the stored contents afterwards.
+		for _, mode := range []LoadMode{LoadReplace, LoadMerge} {
+			live := NewIndex()
+			live.SetLoadMode(mode)
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := K("fuzz;", "v", string(rune('a'+i%8)))
+					live.Record(k, float64(i))
+					live.Has(k)
+				}
+			}()
+			err1 := live.Load(bytes.NewReader(data))
+			err2 := live.Load(&buf) // buf may be drained; error is fine
+			close(stop)
+			<-done
+			_, _ = err1, err2 // either outcome is legal; no panic, no race
+			want := strings.Count(live.Dump(), "\n")
+			if live.Len() != want {
+				t.Fatalf("mode %d: size counter %d diverged from %d stored entries", mode, live.Len(), want)
+			}
 		}
 	})
 }

@@ -203,13 +203,14 @@ type shard struct {
 // exploration episodes can share one store (cross-episode profile reuse)
 // while each episode's own lookups stay exact.
 type Index struct {
-	shards  [numShards]shard
-	pol     atomic.Pointer[polBox]
-	hits    atomic.Int64
-	misses  atomic.Int64
-	trial   atomic.Int64
-	samples atomic.Int64 // samples recorded this session (the explorer's progress signal)
-	size    atomic.Int64 // stored keys, maintained on insert/evict/load
+	shards   [numShards]shard
+	pol      atomic.Pointer[polBox]
+	loadMode atomic.Int32 // LoadMode Load obeys (default LoadReplace)
+	hits     atomic.Int64
+	misses   atomic.Int64
+	trial    atomic.Int64
+	samples  atomic.Int64 // samples recorded this session (the explorer's progress signal)
+	size     atomic.Int64 // stored keys, maintained on insert/evict/load
 
 	// Optional telemetry, attached by Instrument.
 	mHits    *obs.Counter
@@ -392,6 +393,37 @@ func (ix *Index) Best(context, varID string, labels []string) (best int, us floa
 	return best, bs.Mean, true
 }
 
+// EvictPrefix removes every measurement whose key starts with the given
+// context prefix and returns the number of entries removed. A fleet store
+// that namespaces each job's keys under a job-signature base context (see
+// wire.SessionConfig.ProfileContext) evicts a whole job's knowledge with one
+// call when the store crosses its memory ceiling. Callers must pick prefixes
+// that cannot alias across jobs (e.g. signatures with a terminator).
+func (ix *Index) EvictPrefix(prefix string) int {
+	if prefix == "" {
+		return 0
+	}
+	n := 0
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			if strings.HasPrefix(string(k), prefix) {
+				delete(sh.m, k)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if n > 0 {
+		ix.size.Add(int64(-n))
+		if ix.mSize != nil {
+			ix.mSize.Set(float64(ix.size.Load()))
+		}
+	}
+	return n
+}
+
 // EvictVar removes every measurement of varID across all contexts and
 // returns the number of entries removed. Thawing a variable evicts its
 // entries so the explorer re-measures it; entries of later siblings
@@ -505,13 +537,39 @@ func (ix *Index) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(&snap)
 }
 
-// Load replaces the index contents from a Save'd snapshot, accepting both
-// the current multi-sample format and legacy single-sample saves (which
-// load as one-sample statistics). Query statistics, the session sample
-// counter and the trial tag are reset: hits, misses and samples accumulated
-// before the snapshot was loaded belong to a different session, and keeping
-// them would corrupt warm-start reporting and the explorer's progress
-// guard.
+// LoadMode selects how Load treats the index's existing contents and
+// session counters.
+type LoadMode int32
+
+// Load modes.
+const (
+	// LoadReplace is the historical behaviour: the snapshot replaces the
+	// contents wholesale and the query statistics, session sample counter
+	// and trial tag reset — right for a fresh session warm-starting from a
+	// file, where pre-load counters belong to a different session.
+	LoadReplace LoadMode = iota
+	// LoadMerge folds the snapshot into the live contents instead: keys
+	// already present keep their statistics (first-measurement-wins, like
+	// Record), only absent keys are inserted, and the hit/miss/sample/trial
+	// counters are preserved. A long-running server importing fleet
+	// snapshots mid-run must use this mode — under LoadReplace an import
+	// would silently zero the fleet's hit-rate metrics and discard every
+	// measurement recorded since the snapshot was taken.
+	LoadMerge
+)
+
+// SetLoadMode installs the mode subsequent Load calls obey (default
+// LoadReplace, the historical behaviour).
+func (ix *Index) SetLoadMode(m LoadMode) { ix.loadMode.Store(int32(m)) }
+
+// Load installs a Save'd snapshot, accepting both the current multi-sample
+// format and legacy single-sample saves (which load as one-sample
+// statistics). Under the default LoadReplace mode the snapshot replaces the
+// contents and resets the query statistics, session sample counter and
+// trial tag — counters accumulated before the load belong to a different
+// session, and keeping them would corrupt warm-start reporting and the
+// explorer's progress guard. Under LoadMerge (SetLoadMode) the snapshot
+// merges into the live contents and every counter is preserved.
 func (ix *Index) Load(r io.Reader) error {
 	var raw struct {
 		Version int                        `json:"version"`
@@ -543,21 +601,49 @@ func (ix *Index) Load(r io.Reader) error {
 			m[Key(Intern(k))] = Stats{Count: 1, Mean: e.ValueUs, Trial: e.Trial}
 		}
 	}
+	if LoadMode(ix.loadMode.Load()) == LoadMerge {
+		// Merge: live entries win (first-measurement-wins, matching
+		// Record); counters stay — a live server's fleet statistics must
+		// survive a snapshot import.
+		added := 0
+		for k, st := range m {
+			sh := ix.shardFor(k)
+			sh.mu.Lock()
+			if _, ok := sh.m[k]; !ok {
+				sh.m[k] = st
+				added++
+			}
+			sh.mu.Unlock()
+		}
+		if added > 0 {
+			ix.size.Add(int64(added))
+		}
+		if ix.mSize != nil {
+			ix.mSize.Set(float64(ix.size.Load()))
+		}
+		return nil
+	}
 	// Replace contents wholesale: snapshot decode succeeded, so swap in the
-	// new entries shard by shard.
+	// new entries shard by shard. Size bookkeeping is delta-based so a
+	// Record racing the load cannot strand the counter.
+	delta := 0
 	for i := range ix.shards {
 		sh := &ix.shards[i]
 		sh.mu.Lock()
+		delta -= len(sh.m)
 		sh.m = make(map[Key]Stats)
 		sh.mu.Unlock()
 	}
 	for k, st := range m {
 		sh := ix.shardFor(k)
 		sh.mu.Lock()
+		if _, ok := sh.m[k]; !ok {
+			delta++
+		}
 		sh.m[k] = st
 		sh.mu.Unlock()
 	}
-	ix.size.Store(int64(len(m)))
+	ix.size.Add(int64(delta))
 	ix.hits.Store(0)
 	ix.misses.Store(0)
 	ix.trial.Store(0)

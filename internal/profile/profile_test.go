@@ -385,3 +385,89 @@ func TestInstrumentedIndex(t *testing.T) {
 		t.Fatalf("profile.samples = %v", got)
 	}
 }
+
+// TestLoadMergePreservesCounters pins the live-server load semantics: under
+// LoadMerge a snapshot import must neither zero the fleet's query/progress
+// counters nor clobber measurements recorded since the snapshot was taken.
+// (Under the default LoadReplace, Load resetting the counters is intended
+// single-job warm-start behaviour — pinned by TestSaveLoadResetsCounters-style
+// assertions above — but on a long-running server it silently zeroed the
+// fleet hit-rate metrics mid-run.)
+func TestLoadMergePreservesCounters(t *testing.T) {
+	donor := NewIndex()
+	donor.Record(K("jobA;", "v", "a"), 10)
+	donor.Record(K("jobA;", "v", "b"), 20)
+	var snap bytes.Buffer
+	if err := donor.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	ix := NewIndex()
+	ix.SetLoadMode(LoadMerge)
+	ix.SetTrial(7)
+	ix.Record(K("jobA;", "v", "a"), 99) // live measurement, must win over the snapshot's 10
+	ix.Record(K("jobB;", "w", "x"), 5)
+	ix.Has(K("jobA;", "v", "a")) // hit
+	ix.Has(K("jobB;", "w", "y")) // miss
+	if err := ix.Load(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate = %v after merge load, want 0.5 preserved", got)
+	}
+	if got := ix.Samples(); got != 2 {
+		t.Fatalf("Samples = %d after merge load, want 2 preserved", got)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (one merged-in key)", ix.Len())
+	}
+	if m, ok := ix.Lookup(K("jobA;", "v", "a")); !ok || m.ValueUs != 99 {
+		t.Fatalf("live entry clobbered by merge: %+v ok=%v", m, ok)
+	}
+	if m, ok := ix.Lookup(K("jobA;", "v", "b")); !ok || m.ValueUs != 20 {
+		t.Fatalf("snapshot entry not merged: %+v ok=%v", m, ok)
+	}
+	// Trial tag preserved too: the next recording still carries trial 7.
+	ix.Record(K("jobB;", "w", "y"), 6)
+	if st, _ := ix.LookupStats(K("jobB;", "w", "y")); st.Trial != 7 {
+		t.Fatalf("trial tag reset by merge load: %+v", st)
+	}
+
+	// Flipping back restores the historical replace+reset behaviour.
+	ix.SetLoadMode(LoadReplace)
+	var snap2 bytes.Buffer
+	if err := donor.Save(&snap2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Load(&snap2); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Samples() != 0 || ix.HitRate() != 0 {
+		t.Fatalf("LoadReplace kept counters: samples=%d hitrate=%v", ix.Samples(), ix.HitRate())
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("LoadReplace Len = %d, want 2", ix.Len())
+	}
+}
+
+func TestEvictPrefix(t *testing.T) {
+	ix := NewIndex()
+	ix.Record(K("model=a;batch=1;", "v", "x"), 1)
+	ix.Record(K("model=a;batch=1;/sub", "v2", "y"), 2)
+	ix.Record(K("model=a;batch=12;", "v", "x"), 3)
+	if n := ix.EvictPrefix(""); n != 0 {
+		t.Fatalf("empty prefix evicted %d", n)
+	}
+	if n := ix.EvictPrefix("model=a;batch=1;"); n != 2 {
+		t.Fatalf("evicted %d, want 2", n)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ix.Len())
+	}
+	if !ix.Has(K("model=a;batch=12;", "v", "x")) {
+		t.Fatal("sibling signature evicted")
+	}
+	if n := ix.EvictPrefix("model=zzz;"); n != 0 {
+		t.Fatalf("unknown prefix evicted %d", n)
+	}
+}

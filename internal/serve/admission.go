@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission-control outcomes. Handlers map them onto HTTP statuses (429 for
+// a full queue, 503 while draining).
+var (
+	// ErrQueueFull rejects a job because MaxInFlight sessions are running
+	// and the wait queue is at MaxQueue.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDraining rejects a job because the server is shutting down.
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// admission is a bounded-concurrency gate with a fair FIFO wait queue. It
+// is deliberately timer-free: waiters block on channels and give up only
+// through their context, so tests drive every edge case without sleeping.
+type admission struct {
+	mu       sync.Mutex
+	max      int
+	maxQueue int
+	inflight int
+	queue    []chan error // FIFO; a waiter owns a 1-buffered channel
+	closed   bool
+	idle     chan struct{} // non-nil while a drain waits for inflight == 0
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{max: maxInFlight, maxQueue: maxQueue}
+}
+
+// Acquire blocks until an in-flight slot is granted, the queue overflows
+// (ErrQueueFull), the server drains (ErrDraining) or ctx is cancelled.
+// Queue order is strictly first-come-first-served.
+func (a *admission) Acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrDraining
+	}
+	if a.inflight < a.max {
+		a.inflight++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.mu.Unlock()
+		return ErrQueueFull
+	}
+	w := make(chan error, 1)
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case err := <-w:
+		return err
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, q := range a.queue {
+			if q == w {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				a.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		a.mu.Unlock()
+		// A grant raced the cancellation: the slot is ours, so give it
+		// back before reporting the cancel.
+		if err := <-w; err == nil {
+			a.Release()
+		}
+		return ctx.Err()
+	}
+}
+
+// Release returns an in-flight slot, handing it to the oldest queued waiter
+// if any.
+func (a *admission) Release() {
+	a.mu.Lock()
+	if len(a.queue) > 0 && !a.closed {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.mu.Unlock()
+		w <- nil // slot transfers; inflight count is unchanged
+		return
+	}
+	a.inflight--
+	if a.inflight == 0 && a.idle != nil {
+		close(a.idle)
+		a.idle = nil
+	}
+	a.mu.Unlock()
+}
+
+// Counts reports the current in-flight and queued totals.
+func (a *admission) Counts() (inflight, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight, len(a.queue)
+}
+
+// Drain closes admission (new Acquires fail with ErrDraining), rejects
+// every queued waiter, and blocks until the in-flight jobs release or ctx
+// expires — the queued jobs never started, so rejecting them loses no work,
+// while started jobs run to completion.
+func (a *admission) Drain(ctx context.Context) error {
+	a.mu.Lock()
+	a.closed = true
+	queued := a.queue
+	a.queue = nil
+	var idle chan struct{}
+	if a.inflight > 0 {
+		if a.idle == nil {
+			a.idle = make(chan struct{})
+		}
+		idle = a.idle
+	}
+	a.mu.Unlock()
+	for _, w := range queued {
+		w <- ErrDraining
+	}
+	if idle == nil {
+		return nil
+	}
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

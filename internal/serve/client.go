@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Submitter runs one job to completion. *Server implements it in-process;
+// *Client implements it over the HTTP API. The load generator drives either.
+type Submitter interface {
+	Submit(ctx context.Context, job Job, emit func(Event)) (*Result, error)
+}
+
+// Client submits jobs to a remote astra-serve over its HTTP API.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7411".
+	BaseURL string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+	// Stream selects the NDJSON event stream (events are forwarded to
+	// emit); false uses the single-shot ?stream=0 form.
+	Stream bool
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// decodeError maps a transport-level rejection back onto the server's
+// sentinel errors so callers handle local and remote submission uniformly.
+func decodeError(status int, body string) error {
+	body = strings.TrimSpace(body)
+	switch status {
+	case http.StatusBadRequest:
+		return &ValidationError{msg: strings.TrimPrefix(body, "serve: ")}
+	case http.StatusTooManyRequests:
+		return ErrQueueFull
+	case http.StatusServiceUnavailable:
+		return ErrDraining
+	default:
+		return fmt.Errorf("serve: server returned %d: %s", status, body)
+	}
+}
+
+// codeError maps a stream error event's code onto the sentinel errors.
+func codeError(ev Event) error {
+	switch ev.Code {
+	case "queue_full":
+		return ErrQueueFull
+	case "draining":
+		return ErrDraining
+	default:
+		return fmt.Errorf("serve: job failed: %s", ev.Error)
+	}
+}
+
+// Submit runs one job on the remote server, forwarding stream events to
+// emit (which may be nil) when Stream is set.
+func (c *Client) Submit(ctx context.Context, job Job, emit func(Event)) (*Result, error) {
+	if emit == nil {
+		emit = func(Event) {}
+	}
+	payload, err := json.Marshal(job)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding job: %w", err)
+	}
+	url := c.BaseURL + "/v1/jobs"
+	if !c.Stream {
+		url += "?stream=0"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return nil, decodeError(resp.StatusCode, string(body))
+	}
+	if !c.Stream {
+		var res Result
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return nil, fmt.Errorf("serve: decoding result: %w", err)
+		}
+		return &res, nil
+	}
+	// NDJSON stream: forward events; the terminal line is either a
+	// "result" (success) or an "error" (rejection or mid-session failure).
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("serve: bad stream line %q: %w", line, err)
+		}
+		emit(ev)
+		switch ev.Type {
+		case "result":
+			if ev.Result == nil {
+				return nil, fmt.Errorf("serve: result event without a result")
+			}
+			return ev.Result, nil
+		case "error":
+			return nil, codeError(ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: stream broken: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("serve: stream ended without a result")
+}

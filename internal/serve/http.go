@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// maxJobBytes bounds a job request body; real jobs are a few hundred bytes.
+const maxJobBytes = 1 << 16
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/jobs     submit a job; NDJSON event stream (?stream=0 for a
+//	                  single JSON result). 400 invalid, 429 queue full,
+//	                  503 draining.
+//	GET  /v1/stats    point-in-time server stats (JSON).
+//	GET  /v1/profile  fleet profile store snapshot (download).
+//	POST /v1/profile  import a snapshot into the fleet store (merge;
+//	                  live entries and counters are preserved).
+//	GET  /metrics     Prometheus text exposition of the serve.* metrics.
+//	GET  /healthz     200 "ok", or 503 "draining" during shutdown.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/profile", s.handleProfile)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// httpStatus maps a Submit error onto its transport status.
+func httpStatus(err error) int {
+	var ve *ValidationError
+	switch {
+	case errors.As(err, &ve):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "serve: POST a job to /v1/jobs", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobBytes))
+	if err != nil {
+		http.Error(w, "serve: request body unreadable or over "+
+			"64KiB", http.StatusBadRequest)
+		return
+	}
+	job, err := ParseJob(body)
+	if err != nil {
+		s.mRejInvalid.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	stream := r.URL.Query().Get("stream") != "0"
+	if !stream {
+		// Single-shot: run the job, answer with the result object alone.
+		res, err := s.Submit(r.Context(), job, nil)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client is gone; nothing to tell it
+			}
+			http.Error(w, err.Error(), httpStatus(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(res)
+		return
+	}
+
+	// NDJSON stream: one event object per line, flushed as they happen, so
+	// a tenant watches convergence live. Submit emits synchronously from
+	// this goroutine, so writes need no locking; a vanished client cancels
+	// r.Context() and the session aborts between steps.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev Event) {
+		_ = enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if _, err := s.Submit(r.Context(), job, emit); err != nil && r.Context().Err() == nil {
+		// The status line is already committed; the error event emitted by
+		// Submit is the in-band signal. Rejections before the session
+		// started (queue full / draining) never emitted one, so do it here.
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			emit(Event{Type: "error", Code: "queue_full", Error: err.Error()})
+		case errors.Is(err, ErrDraining):
+			emit(Event{Type: "error", Code: "draining", Error: err.Error()})
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "serve: GET /v1/stats", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.StatsSnapshot())
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.fleet.Save(w); err != nil && r.Context().Err() == nil {
+			http.Error(w, "serve: snapshot failed: "+err.Error(), http.StatusInternalServerError)
+		}
+	case http.MethodPost:
+		// Merge-mode import (set in NewServer): live entries win, fleet
+		// hit/trial counters survive.
+		if err := s.fleet.Load(http.MaxBytesReader(w, r.Body, 1<<30)); err != nil {
+			http.Error(w, "serve: snapshot rejected: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.updateGauges()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]int{"store_keys": s.fleet.Len()})
+	default:
+		http.Error(w, "serve: GET or POST /v1/profile", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "serve: GET /metrics", http.StatusMethodNotAllowed)
+		return
+	}
+	s.updateGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.cfg.Registry.WriteProm(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	_, _ = io.WriteString(w, "ok\n")
+}

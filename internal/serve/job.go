@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"astra/internal/distsim"
+	"astra/internal/enumerate"
+	"astra/internal/models"
+)
+
+// Job is one wiring request a tenant submits: which model at which scale,
+// which adaptation preset, how many data-parallel workers over which
+// fabric. The server explores it on the shared simulated substrate and
+// streams back convergence events plus the wired result.
+type Job struct {
+	// Tenant names the submitting client (reporting only; default "anon").
+	Tenant string `json:"tenant,omitempty"`
+	// Model is a zoo model name (models.Names).
+	Model string `json:"model"`
+	// Scale sizes the model: "tiny" (default; the test scale) or
+	// "default" (the paper's §6.1 evaluation scale — minutes per cold job).
+	Scale string `json:"scale,omitempty"`
+	// Batch is the per-device mini-batch size (default 4).
+	Batch int `json:"batch,omitempty"`
+	// Level selects the adaptation dimensions: F, FK, FKS or All
+	// (default FK).
+	Level string `json:"level,omitempty"`
+	// Streams overrides the preset's stream count (0 keeps the preset's).
+	Streams int `json:"streams,omitempty"`
+	// Workers is the data-parallel degree (default 1; 2..8 simulates a
+	// multi-GPU session with explored gradient bucketing).
+	Workers int `json:"workers,omitempty"`
+	// Fabric names the gradient-exchange interconnect for Workers >= 2:
+	// pcie3 (default) or nvlink1.
+	Fabric string `json:"fabric,omitempty"`
+	// Steps is how many wired mini-batches to run after convergence
+	// (default 1; the last one's time is the reported WiredUs).
+	Steps int `json:"steps,omitempty"`
+}
+
+// Job-field limits: hostile requests must not be able to queue unbounded
+// work behind one admission slot.
+const (
+	maxTenantLen = 64
+	maxBatch     = 512
+	maxStreams   = 8
+	maxWorkers   = 8
+	maxSteps     = 64
+)
+
+var levels = map[string]enumerate.Preset{
+	"F":   enumerate.PresetF,
+	"FK":  enumerate.PresetFK,
+	"FKS": enumerate.PresetFKS,
+	"All": enumerate.PresetAll,
+}
+
+func levelNames() []string {
+	out := make([]string, 0, len(levels))
+	for l := range levels { // nodeterm:ok sorted below
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fabricNames() []string {
+	fabrics := distsim.Fabrics()
+	out := make([]string, 0, len(fabrics))
+	for _, f := range fabrics {
+		out = append(out, f.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidationError rejects a malformed job; it always names the valid
+// choices for the offending field so a client can self-correct.
+type ValidationError struct{ msg string }
+
+func (e *ValidationError) Error() string { return "serve: " + e.msg }
+
+func invalidf(format string, args ...interface{}) error {
+	return &ValidationError{msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseJob decodes and validates a job request. Unknown fields, trailing
+// garbage and out-of-range values are all rejected with a *ValidationError
+// naming the valid choices; defaults are applied to omitted fields. It
+// never panics, whatever the input.
+func ParseJob(data []byte) (Job, error) {
+	var j Job
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return Job{}, invalidf("bad job JSON: %v (want an object like {\"model\":\"sublstm\",\"level\":\"FK\"})", err)
+	}
+	if dec.More() {
+		return Job{}, invalidf("bad job JSON: trailing data after the job object")
+	}
+	return j.withDefaults()
+}
+
+// Normalize validates the job and returns it with defaults applied — the
+// exact normalization Submit performs on intake, for callers that need the
+// canonical shape (e.g. to compute its Signature) without submitting.
+func (j Job) Normalize() (Job, error) { return j.withDefaults() }
+
+// withDefaults validates the job and fills omitted fields.
+func (j Job) withDefaults() (Job, error) {
+	if j.Tenant == "" {
+		j.Tenant = "anon"
+	}
+	if len(j.Tenant) > maxTenantLen {
+		return Job{}, invalidf("tenant name longer than %d bytes", maxTenantLen)
+	}
+	if strings.ContainsAny(j.Tenant, "#\n\r") {
+		return Job{}, invalidf("tenant name must not contain '#' or newlines")
+	}
+	if _, ok := models.Get(j.Model); !ok {
+		return Job{}, invalidf("unknown model %q (valid models: %s)", j.Model, strings.Join(models.Names(), ", "))
+	}
+	switch j.Scale {
+	case "":
+		j.Scale = "tiny"
+	case "tiny", "default":
+	default:
+		return Job{}, invalidf("unknown scale %q (valid scales: default, tiny)", j.Scale)
+	}
+	if j.Batch == 0 {
+		j.Batch = 4
+	}
+	if j.Batch < 1 || j.Batch > maxBatch {
+		return Job{}, invalidf("batch %d out of range (valid: 1..%d)", j.Batch, maxBatch)
+	}
+	if j.Level == "" {
+		j.Level = "FK"
+	}
+	if _, ok := levels[j.Level]; !ok {
+		return Job{}, invalidf("unknown level %q (valid levels: %s)", j.Level, strings.Join(levelNames(), ", "))
+	}
+	if j.Streams < 0 || j.Streams > maxStreams {
+		return Job{}, invalidf("streams %d out of range (valid: 0..%d, 0 = preset default)", j.Streams, maxStreams)
+	}
+	if j.Workers == 0 {
+		j.Workers = 1
+	}
+	if j.Workers < 1 || j.Workers > maxWorkers {
+		return Job{}, invalidf("workers %d out of range (valid: 1..%d)", j.Workers, maxWorkers)
+	}
+	if j.Workers >= 2 {
+		if j.Fabric == "" {
+			j.Fabric = "pcie3"
+		}
+		if _, ok := distsim.FabricByName(j.Fabric); !ok {
+			return Job{}, invalidf("unknown fabric %q (valid fabrics: %s)", j.Fabric, strings.Join(fabricNames(), ", "))
+		}
+	} else if j.Fabric != "" {
+		if _, ok := distsim.FabricByName(j.Fabric); !ok {
+			return Job{}, invalidf("unknown fabric %q (valid fabrics: %s)", j.Fabric, strings.Join(fabricNames(), ", "))
+		}
+		j.Fabric = "" // single-worker sessions have no exchange
+	}
+	if j.Steps == 0 {
+		j.Steps = 1
+	}
+	if j.Steps < 1 || j.Steps > maxSteps {
+		return Job{}, invalidf("steps %d out of range (valid: 1..%d)", j.Steps, maxSteps)
+	}
+	return j, nil
+}
+
+// Signature is the job's shape identity: every field that affects what the
+// exploration measures, and nothing else (the tenant is deliberately
+// excluded — cross-tenant reuse is the point). It doubles as the base
+// profile context namespacing the job's keys in the fleet store, so it must
+// never be a string prefix of a different signature: the trailing ';' after
+// every field guarantees that (batch=1; vs batch=12; differ at the ';').
+func (j Job) Signature() string {
+	return fmt.Sprintf("model=%s;scale=%s;batch=%d;level=%s;streams=%d;workers=%d;fabric=%s;",
+		j.Model, j.Scale, j.Batch, j.Level, j.Streams, j.Workers, j.Fabric)
+}

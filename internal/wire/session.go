@@ -221,6 +221,13 @@ type SessionConfig struct {
 	// snapshot from an earlier run of the same job makes exploration
 	// resume where it left off — or skip straight to the wired schedule.
 	Index *profile.Index
+	// ProfileContext namespaces every profile key the session records or
+	// probes under this base context (default ""). Sessions of different
+	// jobs sharing one Index must set it to a per-job signature so their
+	// keys never collide; sessions with the same ProfileContext warm-start
+	// off each other's measurements (the paper's §5 shared profile store).
+	// Exploration behaviour is invariant to its value.
+	ProfileContext string
 	// SkipVerify disables the plan verifier. By default the session
 	// verifies the graph, unit partition and every allocation strategy at
 	// wire time, and each explored configuration before measuring it;
@@ -275,7 +282,7 @@ func NewSession(m *models.Model, cfg SessionConfig) *Session {
 		Noisy:            cfg.Device.Autoboost || cfg.Device.Faults.Enabled(),
 	}
 	if plan.Tree != nil {
-		s.Exp = adapt.NewExplorer(plan.Tree, s.Ix)
+		s.Exp = adapt.NewExplorerAt(plan.Tree, s.Ix, cfg.ProfileContext)
 	}
 	if !cfg.SkipVerify {
 		s.verifyOn = true
