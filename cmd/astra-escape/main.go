@@ -1,0 +1,101 @@
+// astra-escape is the compiler-backed escape-analysis regression guard for
+// //astra:hotpath functions. It compiles the module with -gcflags=-m,
+// keeps the heap-allocation notes that land inside annotated functions,
+// and diffs the normalized report against a committed baseline:
+//
+//	astra-escape -baseline .github/escape-baseline.txt          # CI gate
+//	astra-escape -baseline .github/escape-baseline.txt -update  # accept changes
+//	astra-escape -list                                          # current report
+//
+// Exit status 1 means a new escape appeared in an annotated function — an
+// allocation the zero-alloc launch path did not have when the baseline was
+// committed. Escapes that vanished do not fail the gate; the tool prints
+// them with a reminder to refresh the baseline so the guard stays tight.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"astra/internal/lint/escape"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("astra-escape", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", ".", "module root to analyze")
+	baseline := fs.String("baseline", "", "baseline file to diff against")
+	update := fs.Bool("update", false, "rewrite the baseline with the current report")
+	list := fs.Bool("list", false, "print the current report and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	spans, err := escape.Functions(*root, ".", "internal", "cmd")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	out, err := escape.BuildDiagnostics(*root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	report := escape.Report(escape.ParseDiagnostics(out), spans)
+
+	if *list {
+		for _, l := range report {
+			fmt.Fprintln(stdout, l)
+		}
+		fmt.Fprintf(stderr, "astra-escape: %d escape(s) across %d annotated function(s)\n",
+			len(report), len(spans))
+		return 0
+	}
+	if *baseline == "" {
+		fmt.Fprintln(stderr, "astra-escape: -baseline (or -list) is required")
+		return 2
+	}
+	if *update {
+		content := "# Escape-analysis baseline for //astra:hotpath functions.\n" +
+			"# One line per compiler-reported heap allocation inside an annotated\n" +
+			"# function (go build -gcflags=-m), normalized to file:function: note.\n" +
+			"# Regenerate with: make escape-baseline\n"
+		if len(report) > 0 {
+			content += strings.Join(report, "\n") + "\n"
+		}
+		if err := os.WriteFile(*baseline, []byte(content), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "astra-escape: wrote %d line(s) to %s\n", len(report), *baseline)
+		return 0
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(stderr, "astra-escape: read baseline: %v (run with -update to create it)\n", err)
+		return 2
+	}
+	added, removed := escape.Diff(escape.ParseBaseline(string(raw)), report)
+	for _, l := range removed {
+		fmt.Fprintf(stderr, "astra-escape: note: escape no longer present (refresh baseline with make escape-baseline):\n  %s\n", l)
+	}
+	if len(added) > 0 {
+		fmt.Fprintf(stderr, "astra-escape: %d new escape(s) in hotpath functions:\n", len(added))
+		for _, l := range added {
+			fmt.Fprintf(stderr, "  %s\n", l)
+		}
+		fmt.Fprintln(stderr, "astra-escape: fix the allocation or, if deliberate, refresh the baseline with make escape-baseline")
+		return 1
+	}
+	fmt.Fprintf(stderr, "astra-escape: ok — %d baselined escape(s), %d annotated function(s), no regressions\n",
+		len(report), len(spans))
+	return 0
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// escapeFixture builds a throwaway module with one annotated function whose
+// pooled record escapes — the smallest shape of the real launch path.
+func escapeFixture(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module fix\n\ngo 1.22\n")
+	write("internal/pool/pool.go", `package pool
+
+type Rec struct{ N int }
+
+var sink *Rec
+
+//astra:hotpath
+func Grow() *Rec {
+	r := &Rec{}
+	sink = r
+	return r
+}
+`)
+	return root
+}
+
+func TestUpdateThenGatePasses(t *testing.T) {
+	root := escapeFixture(t)
+	baseline := filepath.Join(root, "baseline.txt")
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", root, "-baseline", baseline, "-update"}, &out, &errOut); code != 0 {
+		t.Fatalf("-update exit %d: %s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "internal/pool/pool.go:Grow: &Rec{} escapes to heap") {
+		t.Fatalf("baseline missing the fixture escape:\n%s", raw)
+	}
+
+	errOut.Reset()
+	if code := run([]string{"-root", root, "-baseline", baseline}, &out, &errOut); code != 0 {
+		t.Fatalf("gate exit %d against fresh baseline: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "no regressions") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+// TestInjectedEscapeFailsGate is the CLI-level version of the guard's core
+// promise: add one allocation to an annotated function and the gate must
+// exit nonzero naming it.
+func TestInjectedEscapeFailsGate(t *testing.T) {
+	root := escapeFixture(t)
+	baseline := filepath.Join(root, "baseline.txt")
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", root, "-baseline", baseline, "-update"}, &out, &errOut); code != 0 {
+		t.Fatalf("-update exit %d: %s", code, errOut.String())
+	}
+
+	injected := `package pool
+
+type Rec struct{ N int }
+
+var sink *Rec
+var leak []int
+
+//astra:hotpath
+func Grow() *Rec {
+	r := &Rec{}
+	sink = r
+	leak = make([]int, r.N)
+	return r
+}
+`
+	if err := os.WriteFile(filepath.Join(root, "internal", "pool", "pool.go"), []byte(injected), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if code := run([]string{"-root", root, "-baseline", baseline}, &out, &errOut); code != 1 {
+		t.Fatalf("gate exit %d after injection, want 1: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "Grow") || !strings.Contains(errOut.String(), "escapes to heap") {
+		t.Errorf("failure does not name the injected escape: %s", errOut.String())
+	}
+}
+
+func TestListPrintsReport(t *testing.T) {
+	root := escapeFixture(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", root, "-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "internal/pool/pool.go:Grow:") {
+		t.Errorf("report missing fixture line:\n%s", out.String())
+	}
+}
+
+func TestOperationalErrors(t *testing.T) {
+	root := escapeFixture(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", root}, &out, &errOut); code != 2 {
+		t.Fatalf("missing -baseline: exit %d, want 2", code)
+	}
+	if code := run([]string{"-root", root, "-baseline", filepath.Join(root, "absent.txt")}, &out, &errOut); code != 2 {
+		t.Fatalf("absent baseline: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-update to create it") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

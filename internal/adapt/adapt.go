@@ -95,15 +95,19 @@ func (v *Var) Initialize() {
 }
 
 // Key returns the profile key for the variable's current (context, choice).
+//
+//astra:hotpath
 func (v *Var) Key() profile.Key { return v.KeyFor(v.current) }
 
 // KeyFor returns the profile key of choice c under the variable's current
 // context, from a per-context cache: the keys for all of a variable's
 // choices are built once per context and reused across trials.
+//
+//astra:hotpath
 func (v *Var) KeyFor(c int) profile.Key {
 	if v.keyCtx != v.ctx || len(v.keys) != len(v.Labels) {
 		if cap(v.keys) < len(v.Labels) {
-			v.keys = make([]profile.Key, len(v.Labels))
+			v.keys = make([]profile.Key, len(v.Labels)) // lint:ok hotpath cache (re)build, once per context change
 		} else {
 			v.keys = v.keys[:len(v.Labels)]
 		}

@@ -290,6 +290,9 @@ type Device struct {
 	poolAlloc int64     // objects newly allocated (telemetry)
 }
 
+// newRecord hands out a KernelRecord from the device free list.
+//
+//astra:hotpath
 func (d *Device) newRecord() *KernelRecord {
 	if d.recUsed < len(d.recPool) {
 		r := d.recPool[d.recUsed]
@@ -298,13 +301,16 @@ func (d *Device) newRecord() *KernelRecord {
 		*r = KernelRecord{}
 		return r
 	}
-	r := &KernelRecord{}
+	r := &KernelRecord{} // lint:ok hotpath pool growth, amortized to zero across Reset/reuse
 	d.recPool = append(d.recPool, r)
 	d.recUsed++
 	d.poolAlloc++
 	return r
 }
 
+// newKernel hands out a kernel from the device free list.
+//
+//astra:hotpath
 func (d *Device) newKernel() *kernel {
 	if d.kernUsed < len(d.kernPool) {
 		k := d.kernPool[d.kernUsed]
@@ -313,13 +319,16 @@ func (d *Device) newKernel() *kernel {
 		*k = kernel{}
 		return k
 	}
-	k := &kernel{}
+	k := &kernel{} // lint:ok hotpath pool growth, amortized to zero across Reset/reuse
 	d.kernPool = append(d.kernPool, k)
 	d.kernUsed++
 	d.poolAlloc++
 	return k
 }
 
+// newEvent hands out an Event from the device free list.
+//
+//astra:hotpath
 func (d *Device) newEvent() *Event {
 	if d.eventUsed < len(d.eventPool) {
 		e := d.eventPool[d.eventUsed]
@@ -328,7 +337,7 @@ func (d *Device) newEvent() *Event {
 		*e = Event{}
 		return e
 	}
-	e := &Event{}
+	e := &Event{} // lint:ok hotpath pool growth, amortized to zero across Reset/reuse
 	d.eventPool = append(d.eventPool, e)
 	d.eventUsed++
 	d.poolAlloc++
@@ -440,6 +449,8 @@ func (d *Device) Reset() {
 // Launch enqueues a kernel on a stream. It consumes the configured launch
 // overhead on the CPU timeline and returns asynchronously, like
 // cudaLaunchKernel.
+//
+//astra:hotpath
 func (d *Device) Launch(streamID int, spec KernelSpec) *KernelRecord {
 	if spec.Tiles <= 0 || spec.TileTimeUs <= 0 {
 		panic(fmt.Sprintf("gpusim: bad kernel spec %+v", spec))
@@ -495,6 +506,8 @@ func (d *Device) Launch(streamID int, spec KernelSpec) *KernelRecord {
 // RecordEvent places a cudaEvent on the stream; it resolves when the stream
 // drains to it. Recording costs a negligible, fixed CPU time (0.2 µs),
 // which is what makes always-on profiling affordable (§5.2).
+//
+//astra:hotpath
 func (d *Device) RecordEvent(streamID int) *Event {
 	s := d.stream(streamID)
 	d.cpuUs += 0.2
@@ -517,6 +530,8 @@ func (d *Device) WaitEvent(streamID int, e *Event) {
 // onto the KernelRecord of any kernel whose start is held back by this wait,
 // so trace analysis can classify the resulting idle gap without re-deriving
 // dispatcher intent from kernel names.
+//
+//astra:hotpath
 func (d *Device) WaitEventTag(streamID int, e *Event, tag string) {
 	s := d.stream(streamID)
 	d.cpuUs += 0.2
@@ -606,6 +621,8 @@ func (h *batchHeap) pop() tileBatch {
 
 // drain runs the event loop until every queue is empty and every kernel has
 // retired.
+//
+//astra:hotpath
 func (d *Device) drain() {
 	for {
 		d.startEligibleWork()
@@ -626,6 +643,8 @@ func (d *Device) drain() {
 
 // startEligibleWork pops stream-queue heads that can make progress at the
 // current simulated time.
+//
+//astra:hotpath
 func (d *Device) startEligibleWork() {
 	for progress := true; progress; {
 		progress = false
@@ -689,6 +708,8 @@ func (d *Device) startEligibleWork() {
 // allocateSMs distributes free SMs among running kernels whose setup is
 // complete, least-allocated-first, so concurrent kernels share the machine
 // fairly the way concurrent thread-block grids do.
+//
+//astra:hotpath
 func (d *Device) allocateSMs() {
 	for d.freeSMs > 0 {
 		needy := d.needyKernels()
@@ -728,6 +749,9 @@ func (d *Device) allocateSMs() {
 	}
 }
 
+// needyKernels rebuilds the scratch list of kernels waiting for SMs.
+//
+//astra:hotpath
 func (d *Device) needyKernels() []*kernel {
 	out := d.needy[:0]
 	for _, k := range d.running {
@@ -742,6 +766,8 @@ func (d *Device) needyKernels() []*kernel {
 // nextEventTime returns the earliest time at which the simulation state can
 // change: a tile batch completes, a kernel's setup finishes, or a stream
 // head becomes eligible.
+//
+//astra:hotpath
 func (d *Device) nextEventTime() float64 {
 	next := math.Inf(1)
 	if len(d.batches) > 0 {
@@ -768,6 +794,9 @@ func (d *Device) nextEventTime() float64 {
 	return next
 }
 
+// completeBatchesAt retires every tile batch due at or before t.
+//
+//astra:hotpath
 func (d *Device) completeBatchesAt(t float64) {
 	for len(d.batches) > 0 && d.batches[0].doneUs <= t {
 		b := d.batches.pop()
@@ -784,6 +813,9 @@ func (d *Device) completeBatchesAt(t float64) {
 	}
 }
 
+// retire removes a finished kernel from the running set and frees its stream.
+//
+//astra:hotpath
 func (d *Device) retire(k *kernel) {
 	for i, r := range d.running {
 		if r == k {

@@ -1,0 +1,250 @@
+// Package escape is the compiler-backed half of the hot-path allocation
+// guard. The static hotpath rule (internal/lint/hotpath) flags
+// allocation-inducing syntax; this package asks the one authority that
+// actually decides whether an &T{} lands on the heap — the gc compiler's
+// escape analysis — and turns its answer into a regression baseline.
+//
+// The pipeline:
+//
+//  1. Functions() parses the module (syntax only, no type check) and
+//     collects the line spans of every //astra:hotpath annotated function.
+//  2. BuildDiagnostics() runs `go build -gcflags=-m ./...` and captures the
+//     compiler's escape notes. The diagnostics replay from the build cache,
+//     so repeat runs cost a cache probe, not a rebuild.
+//  3. Report() keeps the "escapes to heap" / "moved to heap" notes that
+//     land inside an annotated span and normalizes each to one line keyed
+//     by file and function name — not line number, so the baseline
+//     survives edits that merely shift code.
+//  4. Diff() compares the report against the committed baseline
+//     (.github/escape-baseline.txt). New lines are regressions and fail
+//     the build; vanished lines are improvements and only prompt a
+//     baseline refresh.
+//
+// cmd/astra-escape drives the pipeline; `make escape-check` gates CI on it
+// and `make escape-baseline` rewrites the baseline after a deliberate
+// change.
+package escape
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"astra/internal/lint"
+	"astra/internal/lint/hotpath"
+)
+
+// Span is one annotated function: its file (root-relative, slash
+// separated), its display name, and the inclusive line range of the
+// declaration.
+type Span struct {
+	File      string
+	Name      string
+	StartLine int
+	EndLine   int
+}
+
+// Functions collects the spans of every //astra:hotpath function under the
+// given subtrees of root (PackageDirs semantics; "." covers root itself).
+// Syntax-only parsing: the escape tool must not double-pay the type-check
+// the compiler is about to do anyway.
+func Functions(root string, subtrees ...string) ([]Span, error) {
+	dirs, err := lint.PackageDirs(root, subtrees...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var spans []Span
+	for _, rel := range dirs {
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+				strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("escape: parse %s/%s: %w", rel, n, err)
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hotpath.Annotated(fd) {
+					continue
+				}
+				start := fset.Position(fd.Pos())
+				end := fset.Position(fd.End())
+				file, err := filepath.Rel(root, start.Filename)
+				if err != nil {
+					file = start.Filename
+				}
+				spans = append(spans, Span{
+					File:      filepath.ToSlash(file),
+					Name:      funcName(fd),
+					StartLine: start.Line,
+					EndLine:   end.Line,
+				})
+			}
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].File != spans[j].File {
+			return spans[i].File < spans[j].File
+		}
+		return spans[i].StartLine < spans[j].StartLine
+	})
+	return spans, nil
+}
+
+// funcName renders a declaration name the way readers write it:
+// "Launch", "(*Device).Launch", "(Config).Check".
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	var b strings.Builder
+	b.WriteString("(")
+	writeType(&b, recv)
+	b.WriteString(").")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+func writeType(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.StarExpr:
+		b.WriteString("*")
+		writeType(b, e.X)
+	case *ast.IndexExpr: // generic receiver T[P]
+		writeType(b, e.X)
+	default:
+		b.WriteString("?")
+	}
+}
+
+// Diag is one compiler escape note.
+type Diag struct {
+	File string // as printed by the compiler (cwd-relative, slash separated)
+	Line int
+	Msg  string
+}
+
+// BuildDiagnostics compiles the module with -gcflags=-m and returns the raw
+// compiler output. The diagnostics land on stderr; a build failure is an
+// error (the linter must not silently pass on code that does not compile).
+func BuildDiagnostics(root string) (string, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("escape: go build -gcflags=-m failed: %v\n%s", err, out)
+	}
+	return string(out), nil
+}
+
+// ParseDiagnostics extracts the heap-allocation notes — "escapes to heap"
+// and "moved to heap" — from compiler -m output. Inlining chatter and
+// parameter-leak notes are dropped: the baseline tracks allocations, not
+// every analysis fact.
+func ParseDiagnostics(out string) []Diag {
+	var diags []Diag
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// file.go:line:col: message
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+			continue
+		}
+		ln, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		diags = append(diags, Diag{
+			File: filepath.ToSlash(parts[0]),
+			Line: ln,
+			Msg:  strings.TrimSpace(parts[3]),
+		})
+	}
+	return diags
+}
+
+// Report intersects diagnostics with annotated spans and normalizes each
+// hit to "file:function: message". Line numbers are deliberately absent —
+// unrelated edits above a function must not churn the baseline — and the
+// result is deduplicated (one allocation site can emit several identical
+// notes across build configurations) and sorted.
+func Report(diags []Diag, spans []Span) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, d := range diags {
+		for _, s := range spans {
+			if d.File != s.File || d.Line < s.StartLine || d.Line > s.EndLine {
+				continue
+			}
+			line := fmt.Sprintf("%s:%s: %s", s.File, s.Name, d.Msg)
+			if !seen[line] {
+				seen[line] = true
+				out = append(out, line)
+			}
+			break
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Diff compares a report against the committed baseline. added lines are
+// regressions (new escapes in annotated functions); removed lines are
+// improvements the baseline no longer needs to carry.
+func Diff(baseline, current []string) (added, removed []string) {
+	base := map[string]bool{}
+	for _, l := range baseline {
+		base[l] = true
+	}
+	cur := map[string]bool{}
+	for _, l := range current {
+		cur[l] = true
+		if !base[l] {
+			added = append(added, l)
+		}
+	}
+	for _, l := range baseline {
+		if !cur[l] {
+			removed = append(removed, l)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}
+
+// ParseBaseline reads baseline file content: one normalized line per line,
+// "#" comments and blanks ignored.
+func ParseBaseline(content string) []string {
+	var out []string
+	for _, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	sort.Strings(out)
+	return out
+}

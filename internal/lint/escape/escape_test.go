@@ -1,0 +1,171 @@
+package escape
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseDiagnostics(t *testing.T) {
+	out := `# astra/internal/gpusim
+internal/gpusim/gpusim.go:301:7: &KernelRecord{} escapes to heap
+internal/gpusim/gpusim.go:290:6: can inline (*Device).newRecord with cost 42
+internal/wire/runner.go:500:20: moved to heap: t0
+internal/wire/runner.go:501:9: func literal escapes to heap
+not-a-diagnostic line
+internal/wire/runner.go:bad:9: x escapes to heap
+`
+	got := ParseDiagnostics(out)
+	want := []Diag{
+		{File: "internal/gpusim/gpusim.go", Line: 301, Msg: "&KernelRecord{} escapes to heap"},
+		{File: "internal/wire/runner.go", Line: 500, Msg: "moved to heap: t0"},
+		{File: "internal/wire/runner.go", Line: 501, Msg: "func literal escapes to heap"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v\nwant %v", got, want)
+	}
+}
+
+func TestReportIntersectsSpansAndNormalizes(t *testing.T) {
+	spans := []Span{
+		{File: "a.go", Name: "(*T).Hot", StartLine: 10, EndLine: 20},
+		{File: "b.go", Name: "Free", StartLine: 1, EndLine: 5},
+	}
+	diags := []Diag{
+		{File: "a.go", Line: 15, Msg: "x escapes to heap"},
+		{File: "a.go", Line: 15, Msg: "x escapes to heap"}, // duplicate collapses
+		{File: "a.go", Line: 25, Msg: "y escapes to heap"}, // outside every span
+		{File: "b.go", Line: 3, Msg: "z escapes to heap"},
+		{File: "c.go", Line: 3, Msg: "w escapes to heap"}, // unannotated file
+	}
+	got := Report(diags, spans)
+	want := []string{
+		"a.go:(*T).Hot: x escapes to heap",
+		"b.go:Free: z escapes to heap",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v\nwant %v", got, want)
+	}
+}
+
+// TestReportCatchesInjectedEscape is the guard's core promise as a unit
+// test: an allocation note that appears inside an annotated function and is
+// absent from the baseline must surface as a regression.
+func TestReportCatchesInjectedEscape(t *testing.T) {
+	spans := []Span{{File: "hot.go", Name: "Hot", StartLine: 5, EndLine: 30}}
+	baseline := Report([]Diag{
+		{File: "hot.go", Line: 10, Msg: "&rec{} escapes to heap"},
+	}, spans)
+	injected := Report([]Diag{
+		{File: "hot.go", Line: 10, Msg: "&rec{} escapes to heap"},
+		{File: "hot.go", Line: 22, Msg: "make([]int, n) escapes to heap"},
+	}, spans)
+	added, removed := Diff(baseline, injected)
+	if len(added) != 1 || added[0] != "hot.go:Hot: make([]int, n) escapes to heap" {
+		t.Fatalf("added = %v", added)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("removed = %v", removed)
+	}
+}
+
+func TestDiffDirections(t *testing.T) {
+	added, removed := Diff(
+		[]string{"a", "b", "c"},
+		[]string{"b", "c", "d"},
+	)
+	if !reflect.DeepEqual(added, []string{"d"}) || !reflect.DeepEqual(removed, []string{"a"}) {
+		t.Fatalf("added=%v removed=%v", added, removed)
+	}
+	added, removed = Diff(nil, nil)
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("empty diff: added=%v removed=%v", added, removed)
+	}
+}
+
+func TestParseBaseline(t *testing.T) {
+	got := ParseBaseline("# comment\n\nb.go:F: x escapes to heap\na.go:G: y escapes to heap\n")
+	want := []string{"a.go:G: y escapes to heap", "b.go:F: x escapes to heap"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestFunctionsFindsAnnotatedSpans(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "pkg")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package pkg
+
+type T struct{}
+
+//astra:hotpath
+func Plain() {}
+
+// Method is annotated too.
+//
+//astra:hotpath
+func (t *T) Method() int {
+	return 0
+}
+
+// Cold mentions //astra:hotpath in prose only.
+func Cold() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := Functions(root, "pkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans: %+v", spans)
+	}
+	if spans[0].Name != "Plain" || spans[0].File != "pkg/p.go" {
+		t.Errorf("span 0: %+v", spans[0])
+	}
+	if spans[1].Name != "(*T).Method" {
+		t.Errorf("span 1: %+v", spans[1])
+	}
+	if spans[1].StartLine >= spans[1].EndLine {
+		t.Errorf("span 1 range: %+v", spans[1])
+	}
+}
+
+// TestRepoBaselineIsCurrent recomputes the real repository's escape report
+// and diffs it against the committed baseline — the same check `make
+// escape-check` runs in CI, here so `go test ./...` catches a stale
+// baseline (or a new escape) without a separate make invocation.
+func TestRepoBaselineIsCurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short")
+	}
+	root := "../../.."
+	spans, err := Functions(root, ".", "internal", "cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no //astra:hotpath functions found — annotations lost?")
+	}
+	out, err := BuildDiagnostics(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := Report(ParseDiagnostics(out), spans)
+	raw, err := os.ReadFile(filepath.Join(root, ".github", "escape-baseline.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, removed := Diff(ParseBaseline(string(raw)), report)
+	if len(added) > 0 {
+		t.Errorf("new escapes in hotpath functions: %v", added)
+	}
+	if len(removed) > 0 {
+		t.Errorf("stale baseline lines (refresh with make escape-baseline): %v", removed)
+	}
+}

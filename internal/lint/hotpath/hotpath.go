@@ -1,0 +1,459 @@
+// Package hotpath is the hot-path allocation rule: the static mirror of
+// the AllocsPerRun budgets guarding the zero-alloc launch path (see
+// docs/PERFORMANCE.md). The budgets prove the benchmarked execution did not
+// allocate; this rule flags allocation-inducing constructs on every path of
+// every function annotated with the marker comment
+//
+//	//astra:hotpath
+//
+// so a regression is caught at lint time, before a benchmark runs. Flagged
+// constructs:
+//
+//   - fmt.* calls: formatting allocates (and boxes every operand).
+//   - non-constant string concatenation, and string↔[]byte/[]rune
+//     conversions.
+//   - map and slice composite literals, make(...), new(...), and &T{}
+//     (heap-allocated when it escapes; the compiler-backed escape guard —
+//     make escape-check — tracks which ones actually do).
+//   - append to a function-local slice declared without capacity; appends
+//     to fields, parameters, or reslices of pooled buffers are assumed
+//     amortized (the free-list idiom gpusim uses) and left to the escape
+//     guard and alloc budgets.
+//   - capturing closures: a func literal referencing enclosing locals
+//     allocates its environment (the sort.Slice→slices.SortFunc fix of the
+//     PR 5 zero-alloc work was exactly this). Non-capturing literals are
+//     free and stay silent.
+//   - interface boxing: a non-pointer concrete value converted to an
+//     interface (explicitly or by argument passing, including ...any
+//     variadics) allocates the boxed copy.
+//
+// Arguments of panic(...) are exempt: a panicking hot path is already cold.
+// Everything else is fix-or-justify: intentional allocations (pool growth,
+// first-batch lazy init, trace-detail paths) carry lint:ok hotpath markers
+// with written reasons.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"astra/internal/lint"
+)
+
+// Annotation is the marker that opts a function into the rule. It sits in
+// the function's doc comment; the escape-analysis guard (internal/lint/
+// escape) keys off the same marker, so one annotation buys both the static
+// rule and the compiler-backed regression baseline.
+const Annotation = "astra:hotpath"
+
+func init() { lint.Register(rule{}) }
+
+type rule struct{}
+
+func (rule) Name() string { return "hotpath" }
+func (rule) Doc() string {
+	return "allocation-inducing constructs in //astra:hotpath annotated functions (static zero-alloc contract)"
+}
+
+// Applies is unconditional: the rule fires only inside annotated functions,
+// so it is free to run over every package.
+func (rule) Applies(rel string) bool { return true }
+
+// Annotated reports whether a function declaration carries the hotpath
+// marker. The match is exact — a directive comment line reading
+// //astra:hotpath and nothing else — so prose that merely mentions the
+// marker (like this sentence) does not annotate its function.
+func Annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == "//"+Annotation {
+			return true
+		}
+	}
+	return false
+}
+
+func (rule) Check(p *lint.Package) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !Annotated(fd) {
+				continue
+			}
+			c := &checker{p: p, fn: fd}
+			c.check()
+			out = append(out, c.findings...)
+		}
+	}
+	return out
+}
+
+type checker struct {
+	p        *lint.Package
+	fn       *ast.FuncDecl
+	findings []lint.Finding
+	cold     map[ast.Node]bool // panic call arguments — cold by definition
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	c.findings = append(c.findings, lint.NewFinding(c.p.Position(pos), "hotpath",
+		fmt.Sprintf(format, args...)+" in hotpath function "+c.fn.Name.Name))
+}
+
+func (c *checker) check() {
+	c.cold = map[ast.Node]bool{}
+	// First pass: mark panic arguments cold.
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+				for _, arg := range call.Args {
+					c.cold[arg] = true
+				}
+			}
+		}
+		return true
+	})
+	c.walk(c.fn.Body)
+}
+
+// walk inspects the body, pruning panic-argument subtrees: they only
+// evaluate on the way to a panic, so nothing in them is hot.
+func (c *checker) walk(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if c.cold[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && c.isNonConstString(n) {
+				c.report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && c.typeIsString(n.Lhs[0]) {
+				c.report(n.Pos(), "string += allocates")
+			}
+		case *ast.CompositeLit:
+			c.composite(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.report(n.Pos(), "&composite literal heap-allocates when it escapes")
+					// The literal itself is accounted for by this finding.
+					c.walkChildrenSkipping(n)
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			if c.captures(n) {
+				c.report(n.Pos(), "capturing closure allocates its environment")
+			}
+			// Do not descend: the literal runs in its own context; if it is
+			// itself hot it should carry its own accounting via the
+			// enclosing annotation review.
+			return false
+		}
+		return true
+	})
+}
+
+// walkChildrenSkipping re-walks the operand of an &T{} so nested
+// allocations inside the literal still surface, without re-reporting the
+// literal.
+func (c *checker) walkChildrenSkipping(n *ast.UnaryExpr) {
+	lit := n.X.(*ast.CompositeLit)
+	for _, elt := range lit.Elts {
+		c.walk(elt)
+	}
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	// Builtins and conversions.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			if c.p.Info.Uses[id] == nil && c.p.Info.Defs[id] == nil || isBuiltin(c.p.Info.Uses[id]) {
+				c.report(call.Pos(), "make allocates")
+				return
+			}
+		case "new":
+			if isBuiltin(c.p.Info.Uses[id]) {
+				c.report(call.Pos(), "new heap-allocates when it escapes")
+				return
+			}
+		case "append":
+			if isBuiltin(c.p.Info.Uses[id]) {
+				c.checkAppend(call)
+				return
+			}
+		}
+		// Remaining builtins (panic, len, cap, copy, clear, delete, …)
+		// either do not allocate or — panic — are cold by definition.
+		if isBuiltin(c.p.Info.Uses[id]) {
+			return
+		}
+	}
+	if pkg, fn, ok := c.p.CalleePkgFunc(call); ok && pkg == "fmt" {
+		c.report(call.Pos(), "fmt."+fn+" allocates and boxes its operands")
+		return
+	}
+	// Conversions: string <-> []byte / []rune copy.
+	if tv, ok := c.p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		if from, ok := c.p.Info.Types[call.Args[0]]; ok && from.Type != nil {
+			if isStringByteConv(from.Type.Underlying(), to) {
+				c.report(call.Pos(), "string/byte-slice conversion copies and allocates")
+			}
+			if _, isIface := to.(*types.Interface); isIface && boxes(from.Type) {
+				c.report(call.Pos(), "conversion to interface boxes a non-pointer value")
+			}
+		}
+		return
+	}
+	c.checkBoxing(call)
+}
+
+// checkAppend flags append to a local slice that was declared without
+// capacity — the one append shape that allocates on every growth with no
+// pooled backing to amortize it.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		// Fields, reslices (x[:0]), and chained expressions are the pooled
+		// idiom; the escape guard owns them.
+		return
+	}
+	obj := c.p.Info.ObjectOf(id)
+	if obj == nil || obj.Parent() == nil {
+		return
+	}
+	decl := c.findDecl(obj)
+	if decl == nil {
+		return
+	}
+	switch d := decl.(type) {
+	case *ast.ValueSpec:
+		if len(d.Values) == 0 {
+			c.report(call.Pos(), "append to %s grows from nil (declared without capacity at %s)",
+				id.Name, c.pos(d.Pos()))
+		}
+	case *ast.AssignStmt:
+		for i, lhs := range d.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || c.p.Info.ObjectOf(lid) != obj || i >= len(d.Rhs) {
+				continue
+			}
+			if uncapacitated(d.Rhs[i]) {
+				c.report(call.Pos(), "append to %s grows from a zero-capacity slice (declared at %s); preallocate with make(..., 0, n) or reuse a pooled buffer",
+					id.Name, c.pos(d.Pos()))
+			}
+		}
+	}
+}
+
+// uncapacitated reports declarations that pin capacity at zero: an empty
+// literal or a two-argument make with length 0.
+func uncapacitated(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		_, isArr := e.Type.(*ast.ArrayType)
+		return isArr && len(e.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(e.Args) != 2 {
+			return false
+		}
+		if lit, ok := e.Args[1].(*ast.BasicLit); ok && lit.Value == "0" {
+			return true
+		}
+	}
+	return false
+}
+
+// findDecl locates the declaration node of a local object.
+func (c *checker) findDecl(obj types.Object) ast.Node {
+	var found ast.Node
+	ast.Inspect(c.fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && c.p.Info.Defs[id] == obj {
+					found = n
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				if c.p.Info.Defs[name] == obj {
+					found = n
+					return false
+				}
+			}
+		}
+		return found == nil
+	})
+	return found
+}
+
+func (c *checker) composite(lit *ast.CompositeLit) {
+	tv, ok := c.p.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		c.report(lit.Pos(), "map literal allocates")
+	case *types.Slice:
+		c.report(lit.Pos(), "slice literal allocates its backing array")
+	}
+}
+
+// checkBoxing flags concrete non-pointer arguments passed to interface
+// parameters (including ...any variadics): each one allocates the boxed
+// copy. Pointer-shaped values (pointers, maps, chans, funcs) ride in the
+// interface word for free and stay silent.
+func (c *checker) checkBoxing(call *ast.CallExpr) {
+	tv, ok := c.p.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			last := sig.Params().At(np - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := c.p.Info.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if boxes(at.Type) {
+			c.report(arg.Pos(), "argument boxes %s into interface parameter", at.Type.String())
+		}
+	}
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: true for concrete non-pointer-shaped types.
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return false // already boxed
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false // pointer-shaped: rides in the interface word
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil
+	default:
+		return true
+	}
+}
+
+func (c *checker) isNonConstString(e *ast.BinaryExpr) bool {
+	tv, ok := c.p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.Value != nil {
+		return false // constant-folded at compile time
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (c *checker) typeIsString(e ast.Expr) bool {
+	tv, ok := c.p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (c *checker) pos(p token.Pos) string {
+	ps := c.p.Position(p)
+	return fmt.Sprintf("%s:%d", ps.Filename[strings.LastIndex(ps.Filename, "/")+1:], ps.Line)
+}
+
+func isStringByteConv(from, to types.Type) bool {
+	return (isString(from) && isByteOrRuneSlice(to)) || (isByteOrRuneSlice(from) && isString(to))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Uint8 || e.Kind() == types.Rune || e.Kind() == types.Int32)
+}
+
+func isBuiltin(obj types.Object) bool {
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// captures reports whether a function literal references variables declared
+// in the enclosing function outside the literal itself — the allocation the
+// comparator-closure fix in gpusim.allocateSMs exists to avoid.
+func (c *checker) captures(lit *ast.FuncLit) bool {
+	capturing := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || capturing {
+			return !capturing
+		}
+		obj := c.p.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		// Declared inside the enclosing function but outside the literal.
+		if pos >= c.fn.Pos() && pos < c.fn.End() && !(pos >= lit.Pos() && pos < lit.End()) {
+			capturing = true
+			return false
+		}
+		return true
+	})
+	return capturing
+}

@@ -1,0 +1,217 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"astra/internal/lint"
+	"astra/internal/lint/linttest"
+)
+
+func rule(t *testing.T) []lint.Rule {
+	t.Helper()
+	rs, err := lint.ByNames([]string{"hotpath"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestDocAndScope(t *testing.T) {
+	r := rule(t)[0]
+	if r.Doc() == "" {
+		t.Error("empty Doc")
+	}
+	// Annotation-driven: the rule applies everywhere and gates on the
+	// //astra:hotpath directive instead of a package scope.
+	for _, rel := range []string{"internal/gpusim", "cmd/astra-bench", "pkg"} {
+		if !r.Applies(rel) {
+			t.Errorf("Applies(%q) = false", rel)
+		}
+	}
+}
+
+func TestUnannotatedStaysSilent(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "fmt"
+func Cold(n int) string { return fmt.Sprintf("%d", n) }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("unannotated function flagged: %v", fs)
+	}
+}
+
+func TestProseMentionDoesNotAnnotate(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "fmt"
+// Cold documents the //astra:hotpath marker without carrying it.
+func Cold(n int) string { return fmt.Sprintf("%d", n) }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("prose mention treated as annotation: %v", fs)
+	}
+}
+
+func TestFmtAndStringOps(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "fmt"
+
+//astra:hotpath
+func Hot(a, b string, n int) string {
+	s := fmt.Sprintf("%d", n)
+	s += a
+	bs := []byte(b)
+	_ = bs
+	return s + b
+}
+`)
+	want := map[string]bool{
+		"fmt.Sprintf allocates":   linttest.HasMessage(fs, "fmt.Sprintf allocates"),
+		"string += allocates":     linttest.HasMessage(fs, "string += allocates"),
+		"conversion copies":       linttest.HasMessage(fs, "conversion copies"),
+		"concatenation allocates": linttest.HasMessage(fs, "concatenation allocates"),
+	}
+	for msg, ok := range want { // lint:ok map-range assertion iteration, order-free
+		if !ok {
+			t.Errorf("missing %q finding in: %v", msg, fs)
+		}
+	}
+	if linttest.CountRule(fs, "hotpath") != 4 {
+		t.Errorf("want 4 findings, got: %v", fs)
+	}
+}
+
+func TestConstantConcatIsFree(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+
+//astra:hotpath
+func Hot() string {
+	const pre = "a"
+	return pre + "b" // constant-folded, no allocation
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("constant concat flagged: %v", fs)
+	}
+}
+
+func TestCompositesAndMake(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+
+type rec struct{ a, b int }
+
+//astra:hotpath
+func Hot(n int) int {
+	m := map[int]int{}
+	s := []int{1, 2}
+	t := make([]int, n)
+	p := &rec{a: 1}
+	q := new(rec)
+	v := rec{a: 2} // value struct literal: stack, not flagged
+	return m[0] + s[0] + t[0] + p.a + q.b + v.a
+}
+`)
+	if linttest.CountRule(fs, "hotpath") != 5 {
+		t.Fatalf("want 5 findings (map, slice, make, &lit, new): %v", fs)
+	}
+}
+
+func TestAppendHeuristic(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+
+type buf struct{ xs []int }
+
+//astra:hotpath
+func (b *buf) Hot(n int) []int {
+	var grow []int
+	for i := 0; i < n; i++ {
+		grow = append(grow, i) // nil start: allocates on growth
+	}
+	pre := make([]int, 0, n) // lint:ok hotpath preallocation itself, the thing the rule asks for
+	for i := 0; i < n; i++ {
+		pre = append(pre, i) // preallocated: amortized, silent
+	}
+	out := b.xs[:0]
+	out = append(out, n) // pooled reslice idiom: silent
+	b.xs = append(b.xs, n) // field append: escape guard territory, silent
+	return append(pre, out...)
+}
+`)
+	if linttest.CountRule(fs, "hotpath") != 1 || !linttest.HasMessage(fs, "append to grow") {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestClosures(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "slices"
+
+//astra:hotpath
+func Hot(xs []int, n int) {
+	slices.SortFunc(xs, func(a, b int) int { return a - b }) // non-capturing: free
+	f := func() int { return n }                             // captures n: allocates
+	_ = f
+}
+`)
+	if linttest.CountRule(fs, "hotpath") != 1 || !linttest.HasMessage(fs, "capturing closure") {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestInterfaceBoxing(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+
+func sink(v any)        {}
+func sinks(vs ...any)   {}
+func typed(s fmt0) int  { return 0 }
+
+type fmt0 interface{ M() int }
+type big struct{ a, b int }
+func (big) M() int { return 0 }
+
+//astra:hotpath
+func Hot(b big, p *big, n int) int {
+	sink(n)     // boxes int
+	sink(p)     // pointer-shaped: free
+	sinks(n, p) // boxes n only
+	return typed(b) // boxes big
+}
+`)
+	if linttest.CountRule(fs, "hotpath") != 3 {
+		t.Fatalf("want 3 boxing findings: %v", fs)
+	}
+}
+
+func TestPanicPathIsCold(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "fmt"
+
+//astra:hotpath
+func Hot(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	return n
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("panic argument flagged: %v", fs)
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+
+type rec struct{ n int }
+
+//astra:hotpath
+func Hot(pool []*rec) *rec {
+	if len(pool) > 0 {
+		return pool[0]
+	}
+	return &rec{} // lint:ok hotpath pool growth, amortized across reuse
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("suppressed fixture still has findings: %v", fs)
+	}
+}

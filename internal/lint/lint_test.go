@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "a.go", Line: 3, Col: 7, Rule: "r", Message: "m"}
+	if got := f.String(); got != "a.go:3:7: [r] m" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSortFindings(t *testing.T) {
+	fs := []Finding{
+		{File: "b.go", Line: 1, Col: 1, Rule: "z"},
+		{File: "a.go", Line: 2, Col: 1, Rule: "z"},
+		{File: "a.go", Line: 1, Col: 5, Rule: "z"},
+		{File: "a.go", Line: 1, Col: 5, Rule: "a"},
+		{File: "a.go", Line: 1, Col: 2, Rule: "z"},
+	}
+	SortFindings(fs)
+	want := []Finding{
+		{File: "a.go", Line: 1, Col: 2, Rule: "z"},
+		{File: "a.go", Line: 1, Col: 5, Rule: "a"},
+		{File: "a.go", Line: 1, Col: 5, Rule: "z"},
+		{File: "a.go", Line: 2, Col: 1, Rule: "z"},
+		{File: "b.go", Line: 1, Col: 1, Rule: "z"},
+	}
+	if !reflect.DeepEqual(fs, want) {
+		t.Errorf("got %v", fs)
+	}
+}
+
+func TestByNamesUnknown(t *testing.T) {
+	if _, err := ByNames([]string{"no-such-rule"}); err == nil {
+		t.Error("want error for unknown rule")
+	}
+}
+
+func TestInScope(t *testing.T) {
+	scope := []string{"internal/wire", "internal/gpusim"}
+	for rel, want := range map[string]bool{
+		"internal/wire":     true,
+		"internal/wire/sub": true,
+		"internal/wirex":    false,
+		"internal":          false,
+		"cmd/astra-lint":    false,
+		"internal/gpusim":   true,
+	} { // lint:ok map-range independent assertions, order-free
+		if got := InScope(rel, scope); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", rel, got, want)
+		}
+	}
+}
+
+func TestPackageDirs(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel string) {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte("package x\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("root.go")
+	write("internal/a/a.go")
+	write("internal/a/deep/d.go")
+	write("internal/empty/only_test.go") // tests alone do not make a package dir
+	write("cmd/tool/main.go")
+	got, err := PackageDirs(root, ".", "internal", "cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{".", "cmd/tool", "internal/a", "internal/a/deep"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLoaderResolvesModuleLocalImports(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("lib/lib.go", "package lib\n\ntype T struct{ N int }\n")
+	write("app/app.go", `package app
+
+import "fix/lib"
+
+func Use(t lib.T) int { return t.N }
+`)
+	ld := NewLoader(root, "fix")
+	p, err := ld.Load(filepath.Join(root, "app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Path != "fix/app" {
+		t.Errorf("path %q", p.Path)
+	}
+	// The cross-package type must have resolved: lib.T's field is visible.
+	found := false
+	for _, tv := range p.Info.Types { // lint:ok map-range search for one entry, order-free
+		if tv.Type != nil && tv.Type.String() == "fix/lib.T" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("module-local import fix/lib did not type-check from source")
+	}
+}

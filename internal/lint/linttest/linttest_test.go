@@ -1,0 +1,57 @@
+package linttest_test
+
+import (
+	"go/ast"
+	"reflect"
+	"testing"
+
+	"astra/internal/lint"
+	"astra/internal/lint/linttest"
+)
+
+// callFlagger flags every call expression — enough to prove the harness
+// loads fixtures through the real loader and filters suppressions.
+type callFlagger struct{}
+
+func (callFlagger) Name() string            { return "call-flagger" }
+func (callFlagger) Doc() string             { return "test rule: flags every call" }
+func (callFlagger) Applies(rel string) bool { return false } // harness bypasses scope
+func (callFlagger) Check(p *lint.Package) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				out = append(out, lint.NewFinding(p.Position(call.Pos()), "call-flagger", "call site"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func TestCheckLoadsFixtureAndFilters(t *testing.T) {
+	findings := linttest.Check(t, []lint.Rule{callFlagger{}}, `package pkg
+
+func a() {}
+
+func Use() {
+	a()
+	a() // lint:ok call-flagger fixture, second call is justified
+}
+`)
+	if n := linttest.CountRule(findings, "call-flagger"); n != 1 {
+		t.Fatalf("want 1 surviving finding, got %d: %v", n, findings)
+	}
+	if !linttest.HasMessage(findings, "call site") {
+		t.Errorf("HasMessage miss: %v", findings)
+	}
+	if linttest.HasMessage(findings, "no such text") {
+		t.Error("HasMessage false positive")
+	}
+	if got := linttest.RuleNames(findings); !reflect.DeepEqual(got, []string{"call-flagger"}) {
+		t.Errorf("RuleNames: %v", got)
+	}
+	if linttest.CountRule(findings, "absent") != 0 {
+		t.Error("CountRule counted a foreign rule")
+	}
+}

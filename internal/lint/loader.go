@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit every rule's Check
+// receives. Type-check errors in imports are tolerated — rules read types
+// where they resolved and stay silent where they did not; the build gate is
+// `go build`, not the linter.
+type Package struct {
+	// Path is the import path; Dir the absolute directory.
+	Path string
+	Dir  string
+	Fset *token.FileSet
+	// Files are the parsed buildable sources, comments included.
+	Files []*ast.File
+	// Info carries the type-checker's results for the package sources.
+	Info *types.Info
+	// Pkg is the (possibly partially) checked package object.
+	Pkg *types.Package
+}
+
+// Position resolves a token.Pos against the package's file set.
+func (p *Package) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// CalleePkgFunc resolves a call of the form pkg.Fn — the shape every
+// package-level call rule (time.Now, rand.Intn, os.Getenv, fmt.Sprintf)
+// matches on — to the callee's package path and function name.
+func (p *Package) CalleePkgFunc(call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// Loader parses and type-checks packages of one module. It owns the file
+// set and the memoized type-checked imports, so loading several packages
+// shares work. A Loader is not safe for concurrent use; the parallel driver
+// keeps a pool of them (findings depend only on package content, so which
+// loader checks which package cannot change the output).
+type Loader struct {
+	// Root is the module root directory; ModulePath its import path prefix
+	// (e.g. "astra").
+	Root       string
+	ModulePath string
+	// IncludeTests loads *_test.go files too (off by default: tests may
+	// range maps freely — they assert, they don't schedule).
+	IncludeTests bool
+
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+	std  types.Importer
+}
+
+// NewLoader prepares a loader for the module rooted at root.
+func NewLoader(root, modulePath string) *Loader {
+	return &Loader{
+		Root:       root,
+		ModulePath: modulePath,
+		fset:       token.NewFileSet(),
+		pkgs:       map[string]*types.Package{},
+	}
+}
+
+// Load parses and type-checks the package in one directory.
+func (l *Loader) Load(dir string) (*Package, error) {
+	files, err := l.parseDir(dir, l.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: l,
+		// The linter reads types, it does not gate the build: collect
+		// everything it can even if an import fails to fully check.
+		Error: func(error) {},
+	}
+	path := l.importPathFor(dir)
+	pkg, _ := conf.Check(path, l.fset, files, info)
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Info: info, Pkg: pkg}, nil
+}
+
+// Import implements types.Importer: module-local paths type-check from
+// source under Root (go/build knows nothing about this module's layout);
+// everything else — in practice the stdlib — delegates to the stdlib
+// source importer, which honours build constraints.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if path != l.ModulePath && !strings.HasPrefix(path, l.ModulePath+"/") {
+		if l.std == nil {
+			l.std = importer.ForCompiler(l.fset, "source", nil)
+		}
+		pkg, err := l.std.Import(path)
+		if pkg != nil {
+			l.pkgs[path] = pkg
+		}
+		return pkg, err
+	}
+	dir := l.Root
+	if path != l.ModulePath {
+		dir = filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+	}
+	files, err := l.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files for %q in %s", path, dir)
+	}
+	conf := types.Config{Importer: l, Error: func(error) {}}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if pkg != nil {
+		// Memoize even a partially checked package: rules only read
+		// identities and type shapes, which survive most downstream errors.
+		l.pkgs[path] = pkg
+	}
+	return pkg, err
+}
+
+// importPathFor inverts Load's directory for a path under Root.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// parseDir parses the buildable Go files of one directory.
+func (l *Loader) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// PackageDirs walks the named subtrees of root (plus root itself when "."
+// is listed) and returns every directory holding at least one buildable
+// non-test Go file, as sorted root-relative slash paths. This is the
+// driver's default work list: every internal/ and cmd/ package.
+func PackageDirs(root string, subtrees ...string) ([]string, error) {
+	var out []string
+	add := func(rel string, ents []os.DirEntry) {
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") {
+				out = append(out, rel)
+				return
+			}
+		}
+	}
+	for _, sub := range subtrees {
+		if sub == "." {
+			ents, err := os.ReadDir(root)
+			if err != nil {
+				return nil, err
+			}
+			add(".", ents)
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(root, sub)); os.IsNotExist(err) {
+			continue // a module without cmd/ (or internal/) is not an error
+		}
+		err := filepath.WalkDir(filepath.Join(root, sub), func(path string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			add(filepath.ToSlash(rel), ents)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

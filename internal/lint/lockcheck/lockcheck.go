@@ -1,0 +1,658 @@
+// Package lockcheck is the lock-discipline rule: a static mirror of `make
+// race`. The race detector proves the executions it saw were clean; this
+// rule proves discipline over every path the source admits, the same way
+// internal/verify proves schedule safety without running schedules.
+//
+// It builds a static lock graph over sync.Mutex / sync.RWMutex usage —
+// lock identity is the declared field or variable, so all 64 profile-store
+// shards are one lock statically — and walks every function body with a
+// branch-sensitive abstract interpreter tracking the held-lock set. Four
+// families of findings:
+//
+//   - inversion: lock B acquired while A is held in one place, and A
+//     acquired while B is held in another — the classic ABBA deadlock.
+//   - recursive: re-acquiring a lock already held on the same path
+//     (sync.Mutex is not reentrant: guaranteed self-deadlock).
+//   - blocking: a lock held across a blocking operation — channel send or
+//     receive, select, sync.WaitGroup.Wait, sync.Cond.Wait, time.Sleep, or
+//     a net/http call. Holding a mutex across any of these turns a slow
+//     peer into a stalled lock domain (the serve admission gate hands
+//     channels off outside its critical sections for exactly this reason).
+//   - missing-unlock: a return path on which a lock is still held with no
+//     deferred unlock, and branches or loop bodies that leave the held set
+//     in inconsistent states.
+//
+// The analysis is intra-procedural and flow-sensitive but path-insensitive
+// at merges: branches must agree on the held set. Function literals are
+// analyzed as separate functions (they run on other goroutines or at defer
+// time). The analysis does not follow calls; a justified suppression marker
+// is the escape hatch for idioms it cannot see.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"astra/internal/lint"
+)
+
+// Scope is the set of packages holding the system's shared mutable state:
+// the serve admission machine and signature table, the sharded profile
+// store, the telemetry registries, and the parallel pool.
+var Scope = []string{
+	"internal/serve",
+	"internal/profile",
+	"internal/obs",
+	"internal/parallel",
+}
+
+func init() { lint.Register(rule{}) }
+
+type rule struct{}
+
+func (rule) Name() string { return "lockcheck" }
+func (rule) Doc() string {
+	return "static lock discipline: acquisition-order inversions, locks held across blocking operations, missing-unlock paths"
+}
+func (rule) Applies(rel string) bool { return lint.InScope(rel, Scope) }
+
+func (rule) Check(p *lint.Package) []lint.Finding {
+	a := &analyzer{p: p}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.analyzeFunc(fd.Name.Name, fd.Body)
+		}
+	}
+	a.reportInversions()
+	return a.findings
+}
+
+// lockKey identifies a lock statically: the types.Object of the mutex field
+// or variable when it resolves, else the rendered receiver path. A field
+// identity deliberately collapses all instances (every profile shard is one
+// static lock) — hand-over-hand locking of two instances of one field is
+// exactly the ordering hazard the rule exists to flag.
+type lockKey any
+
+type held struct {
+	key      lockKey
+	name     string // display path at acquisition site, e.g. "s.adm.mu"
+	read     bool   // RLock
+	deferred bool   // a deferred unlock covers it
+	pos      token.Pos
+}
+
+type state struct{ held []held }
+
+func (s *state) clone() *state {
+	c := &state{held: make([]held, len(s.held))}
+	copy(c.held, s.held)
+	return c
+}
+
+// edge records "to acquired while from was held" at pos.
+type edge struct {
+	from, to         lockKey
+	fromName, toName string
+	pos              token.Pos
+}
+
+type analyzer struct {
+	p        *lint.Package
+	fn       string // current function, for messages
+	findings []lint.Finding
+	edges    []edge
+	lits     []*ast.FuncLit // queued literals of the current function
+}
+
+func (a *analyzer) analyzeFunc(name string, body *ast.BlockStmt) {
+	a.fn = name
+	st := &state{}
+	terminated := a.block(body.List, st)
+	if !terminated {
+		// Falling off the end returns; held locks without deferred unlocks
+		// never release.
+		a.checkReturn(body.End(), st)
+	}
+	// Literals run on their own goroutine or at defer time: fresh state.
+	lits := a.lits
+	a.lits = nil
+	for i := 0; i < len(lits); i++ {
+		a.fn = name + ".func"
+		lst := &state{}
+		if !a.block(lits[i].Body.List, lst) {
+			a.checkReturn(lits[i].Body.End(), lst)
+		}
+		lits = append(lits, a.lits...)
+		a.lits = nil
+	}
+}
+
+func (a *analyzer) report(pos token.Pos, format string, args ...any) {
+	a.findings = append(a.findings, lint.NewFinding(a.p.Position(pos), "lockcheck",
+		fmt.Sprintf(format, args...)))
+}
+
+// pos renders a position compactly for cross-references inside messages.
+func (a *analyzer) pos(p token.Pos) string {
+	ps := a.p.Position(p)
+	return fmt.Sprintf("%s:%d", filepath.Base(ps.Filename), ps.Line)
+}
+
+// ---- statement walker ----
+
+// block walks a statement list; true means control cannot fall out the end.
+func (a *analyzer) block(list []ast.Stmt, st *state) bool {
+	for _, s := range list {
+		if a.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *analyzer) stmt(s ast.Stmt, st *state) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if isPanic(call) {
+				a.scanLits(call)
+				return true
+			}
+			if key, name, m, ok := a.lockTarget(call); ok {
+				a.applyLockOp(key, name, m, call.Pos(), st)
+				return false
+			}
+		}
+		a.expr(s.X, st)
+		return false
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			a.expr(r, st)
+		}
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						a.expr(v, st)
+					}
+				}
+			}
+		}
+		return false
+	case *ast.IncDecStmt, *ast.EmptyStmt:
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			a.expr(r, st)
+		}
+		a.checkReturn(s.Pos(), st)
+		return true
+	case *ast.DeferStmt:
+		if key, _, m, ok := a.lockTarget(s.Call); ok && (m == "Unlock" || m == "RUnlock") {
+			// The deferred unlock covers the most recent matching hold.
+			for i := len(st.held) - 1; i >= 0; i-- {
+				if sameKey(st.held[i].key, key) && st.held[i].read == (m == "RUnlock") {
+					st.held[i].deferred = true
+					break
+				}
+			}
+			return false
+		}
+		for _, arg := range s.Call.Args {
+			a.expr(arg, st)
+		}
+		a.scanLits(s.Call)
+		return false
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			a.expr(arg, st)
+		}
+		a.scanLits(s.Call)
+		return false
+	case *ast.SendStmt:
+		a.expr(s.Chan, st)
+		a.expr(s.Value, st)
+		a.checkBlocking(s.Pos(), "channel send", st)
+		return false
+	case *ast.BlockStmt:
+		return a.block(s.List, st)
+	case *ast.LabeledStmt:
+		return a.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear flow; approximate as
+		// terminating this path (held-set changes on such paths are caught
+		// by the loop-balance check of the enclosing loop's entry state).
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		a.expr(s.Cond, st)
+		thenSt := st.clone()
+		t1 := a.block(s.Body.List, thenSt)
+		elseSt := st.clone()
+		t2 := false
+		if s.Else != nil {
+			t2 = a.stmt(s.Else, elseSt)
+		}
+		switch {
+		case t1 && t2:
+			return true
+		case t1:
+			*st = *elseSt
+			return false
+		case t2:
+			*st = *thenSt
+			return false
+		default:
+			a.merge(s.Body.Pos(), st, thenSt, elseSt)
+			return false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			a.expr(s.Cond, st)
+		}
+		body := st.clone()
+		a.block(s.Body.List, body)
+		if s.Post != nil {
+			a.stmt(s.Post, body)
+		}
+		a.checkLoopBalance(s.Pos(), st, body)
+		return false
+	case *ast.RangeStmt:
+		a.expr(s.X, st)
+		body := st.clone()
+		a.block(s.Body.List, body)
+		a.checkLoopBalance(s.Pos(), st, body)
+		return false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			a.expr(s.Tag, st)
+		}
+		return a.mergeCases(s.Pos(), st, caseBodies(s.Body), hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		return a.mergeCases(s.Pos(), st, caseBodies(s.Body), hasDefault(s.Body))
+	case *ast.SelectStmt:
+		// Select blocks until a case is ready; with a lock held that is a
+		// lock held across a blocking operation even before any case runs.
+		a.checkBlocking(s.Pos(), "select", st)
+		var bodies [][]ast.Stmt
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				bodies = append(bodies, cc.Body)
+			}
+		}
+		// Select always takes exactly one case; there is no fall-through
+		// entry state.
+		return a.mergeCases(s.Pos(), st, bodies, true)
+	default:
+		return false
+	}
+}
+
+// caseBodies extracts the statement lists of a switch body.
+func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeCases analyzes each case body from a clone of the entry state and
+// requires every continuing path to agree; true means every case
+// terminated (and the switch is exhaustive), so control cannot continue.
+func (a *analyzer) mergeCases(pos token.Pos, st *state, bodies [][]ast.Stmt, exhaustive bool) bool {
+	var outs []*state
+	for _, b := range bodies {
+		cs := st.clone()
+		if !a.block(b, cs) {
+			outs = append(outs, cs)
+		}
+	}
+	if !exhaustive {
+		outs = append(outs, st.clone())
+	}
+	if len(outs) == 0 {
+		return exhaustive
+	}
+	acc := outs[0]
+	for _, o := range outs[1:] {
+		a.merge(pos, acc, acc.clone(), o)
+	}
+	*st = *acc
+	return false
+}
+
+// merge requires both branch exits to hold the same lock set; on
+// disagreement it reports and continues with the intersection. Deferred
+// flags OR together: a defer registered in either branch still runs at
+// function return.
+func (a *analyzer) merge(pos token.Pos, dst, s1, s2 *state) {
+	if !sameHeld(s1, s2) {
+		a.report(pos, "branches of %s leave different locks held (%s vs %s); unlock on every path before the merge",
+			a.fn, heldNames(s1), heldNames(s2))
+	}
+	var inter []held
+	for _, h1 := range s1.held {
+		for _, h2 := range s2.held {
+			if sameKey(h1.key, h2.key) && h1.read == h2.read {
+				h := h1
+				h.deferred = h1.deferred || h2.deferred
+				inter = append(inter, h)
+				break
+			}
+		}
+	}
+	dst.held = inter
+}
+
+// checkLoopBalance flags loop bodies whose net lock effect is non-zero: a
+// second iteration would double-lock or double-unlock.
+func (a *analyzer) checkLoopBalance(pos token.Pos, entry, exit *state) {
+	if !sameHeld(entry, exit) {
+		a.report(pos, "loop body in %s changes the held-lock set per iteration (%s vs %s); a second iteration double-locks or double-unlocks",
+			a.fn, heldNames(entry), heldNames(exit))
+	}
+}
+
+func (a *analyzer) checkReturn(pos token.Pos, st *state) {
+	for _, h := range st.held {
+		if !h.deferred {
+			a.report(pos, "%s returns while holding %s (locked at %s) with no deferred unlock",
+				a.fn, h.name, a.pos(h.pos))
+		}
+	}
+}
+
+func (a *analyzer) checkBlocking(pos token.Pos, what string, st *state) {
+	for _, h := range st.held {
+		a.report(pos, "%s held across %s in %s; release the lock before blocking", h.name, what, a.fn)
+		return // one finding per site, naming the innermost-relevant lock
+	}
+}
+
+// ---- expression scanning ----
+
+// expr scans an expression for blocking operations performed while locks
+// are held and queues function literals for separate analysis.
+func (a *analyzer) expr(e ast.Expr, st *state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			a.lits = append(a.lits, n)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				a.checkBlocking(n.Pos(), "channel receive", st)
+			}
+		case *ast.CallExpr:
+			if what, ok := a.blockingCall(n); ok {
+				a.checkBlocking(n.Pos(), what, st)
+			}
+		}
+		return true
+	})
+}
+
+// scanLits queues function literals appearing anywhere in a call.
+func (a *analyzer) scanLits(call *ast.CallExpr) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			a.lits = append(a.lits, fl)
+			return false
+		}
+		return true
+	})
+}
+
+// blockingCall recognizes calls that park the goroutine: WaitGroup.Wait,
+// Cond.Wait, time.Sleep, and anything from net/http.
+func (a *analyzer) blockingCall(call *ast.CallExpr) (string, bool) {
+	if pkg, fn, ok := a.p.CalleePkgFunc(call); ok {
+		if pkg == "time" && fn == "Sleep" {
+			return "time.Sleep", true
+		}
+		if pkg == "net/http" {
+			return "net/http." + fn, true
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return "", false
+	}
+	tv, ok := a.p.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	if n := namedOf(tv.Type); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" {
+		switch n.Obj().Name() {
+		case "WaitGroup", "Cond":
+			return "sync." + n.Obj().Name() + ".Wait", true
+		}
+	}
+	return "", false
+}
+
+// ---- lock-op resolution ----
+
+// lockTarget recognizes X.Lock / X.Unlock / X.RLock / X.RUnlock where X's
+// type is sync.Mutex or sync.RWMutex, returning the lock's static identity
+// and display path.
+func (a *analyzer) lockTarget(call *ast.CallExpr) (lockKey, string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", "", false
+	}
+	m := sel.Sel.Name
+	switch m {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", "", false
+	}
+	tv, ok := a.p.Info.Types[sel.X]
+	if !ok || !isSyncMutex(tv.Type) {
+		return nil, "", "", false
+	}
+	name := exprPath(sel.X)
+	var key lockKey
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		if obj := a.p.Info.ObjectOf(x); obj != nil {
+			key = obj
+		}
+	case *ast.SelectorExpr:
+		if obj := a.p.Info.ObjectOf(x.Sel); obj != nil {
+			key = obj
+		}
+	}
+	if key == nil {
+		key = name
+	}
+	return key, name, m, true
+}
+
+func (a *analyzer) applyLockOp(key lockKey, name, method string, pos token.Pos, st *state) {
+	switch method {
+	case "Lock", "RLock":
+		read := method == "RLock"
+		for _, h := range st.held {
+			if sameKey(h.key, key) {
+				// RLock under RLock of the same lock is legal (though it can
+				// starve against a pending writer); every other same-lock
+				// re-acquisition self-deadlocks.
+				if !(read && h.read) {
+					a.report(pos, "recursive acquisition: %s.%s in %s while %s is already held (since %s) — sync mutexes are not reentrant",
+						name, method, a.fn, h.name, a.pos(h.pos))
+				}
+				continue
+			}
+			a.edges = append(a.edges, edge{from: h.key, to: key, fromName: h.name, toName: name, pos: pos})
+		}
+		st.held = append(st.held, held{key: key, name: name, read: read, pos: pos})
+	case "Unlock", "RUnlock":
+		read := method == "RUnlock"
+		for i := len(st.held) - 1; i >= 0; i-- {
+			if sameKey(st.held[i].key, key) && st.held[i].read == read {
+				st.held = append(st.held[:i:i], st.held[i+1:]...)
+				return
+			}
+		}
+		a.report(pos, "%s.%s in %s without a matching %s on this path", name, method, a.fn, map[bool]string{false: "Lock", true: "RLock"}[read])
+	}
+}
+
+// reportInversions finds pairs of locks acquired in both orders.
+func (a *analyzer) reportInversions() {
+	type pair struct{ from, to lockKey }
+	index := map[pair]token.Pos{}
+	for _, e := range a.edges {
+		p := pair{e.from, e.to}
+		if _, ok := index[p]; !ok {
+			index[p] = e.pos
+		}
+	}
+	// Walk edges in source order (deterministic) and report each inverted
+	// pair once, at its first acquisition site.
+	sorted := make([]edge, len(a.edges))
+	copy(sorted, a.edges)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].pos < sorted[j].pos })
+	reported := map[pair]bool{}
+	for _, e := range sorted {
+		rev, ok := index[pair{e.to, e.from}]
+		if !ok {
+			continue
+		}
+		p := pair{e.from, e.to}
+		q := pair{e.to, e.from}
+		if reported[p] || reported[q] {
+			continue
+		}
+		reported[p], reported[q] = true, true
+		a.report(e.pos, "lock order inversion: %s acquired while holding %s here, but the opposite order at %s — ABBA deadlock",
+			e.toName, e.fromName, a.pos(rev))
+	}
+}
+
+// ---- helpers ----
+
+func sameKey(a, b lockKey) bool { return a == b }
+
+func sameHeld(s1, s2 *state) bool {
+	if len(s1.held) != len(s2.held) {
+		return false
+	}
+	for _, h1 := range s1.held {
+		found := false
+		for _, h2 := range s2.held {
+			if sameKey(h1.key, h2.key) && h1.read == h2.read {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func heldNames(s *state) string {
+	if len(s.held) == 0 {
+		return "none"
+	}
+	out := ""
+	for i, h := range s.held {
+		if i > 0 {
+			out += ", "
+		}
+		out += h.name
+	}
+	return out
+}
+
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return true
+	}
+	return false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func exprPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprPath(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprPath(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprPath(e.X)
+	case *ast.StarExpr:
+		return "*" + exprPath(e.X)
+	case *ast.CallExpr:
+		return exprPath(e.Fun) + "()"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,171 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"astra/internal/lint/linttest"
+)
+
+// The control-flow fixtures: switch/type-switch merges, loop balance,
+// goroutine bodies and read locks — the paths the straight-line fixtures in
+// lockcheck_test.go never reach.
+
+func TestSwitchCasesMustAgree(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+var mu sync.Mutex
+func Uneven(n int) {
+	switch n {
+	case 0:
+		mu.Lock()
+	default:
+	}
+	mu.Unlock()
+}
+`)
+	if !linttest.HasMessage(fs, "different locks held") {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestSwitchBalancedIsClean(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+var mu sync.Mutex
+var total int
+func Tally(n int) {
+	mu.Lock()
+	switch n {
+	case 0:
+		total++
+	case 1:
+		total += 2
+	default:
+		total--
+	}
+	mu.Unlock()
+}
+`)
+	if linttest.CountRule(fs, "lockcheck") != 0 {
+		t.Fatalf("clean switch flagged: %v", fs)
+	}
+}
+
+func TestTypeSwitchEarlyReturnHoldingLock(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+var mu sync.Mutex
+func Classify(v any) int {
+	mu.Lock()
+	switch v.(type) {
+	case int:
+		return 1
+	default:
+		mu.Unlock()
+		return 0
+	}
+}
+`)
+	if !linttest.HasMessage(fs, "returns while holding mu") {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestLoopBalance(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+var mu sync.Mutex
+func Leak(n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+	}
+	mu.Unlock()
+}
+func LeakRange(xs []int) {
+	for range xs {
+		mu.Lock()
+	}
+	mu.Unlock()
+}
+func Balanced(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		mu.Lock()
+		s += x
+		mu.Unlock()
+	}
+	return s
+}
+`)
+	// Each leaking loop yields the balance finding plus the follow-on
+	// unmatched-Unlock (analysis continues from the loop's entry state).
+	if n := linttest.CountRule(fs, "lockcheck"); n != 4 || !linttest.HasMessage(fs, "changes the held-lock set") {
+		t.Fatalf("want 4 findings (2 loops x balance+unmatched-unlock), got %d: %v", n, fs)
+	}
+}
+
+func TestGoroutineBodyAnalyzedFresh(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+var mu sync.Mutex
+var ch = make(chan int)
+func Spawn() {
+	go func() {
+		mu.Lock()
+		ch <- 1
+		mu.Unlock()
+	}()
+	go func() {
+		func() {
+			mu.Lock()
+		}()
+	}()
+}
+`)
+	if !linttest.HasMessage(fs, "held across channel send") {
+		t.Fatalf("goroutine body not analyzed: %v", fs)
+	}
+	if !linttest.HasMessage(fs, "returns while holding mu") {
+		t.Fatalf("nested literal not analyzed: %v", fs)
+	}
+}
+
+func TestReadLocks(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+var rw sync.RWMutex
+var ch = make(chan int)
+func Read() int {
+	rw.RLock()
+	defer rw.RUnlock()
+	return 1
+}
+func ReadBlocked() {
+	rw.RLock()
+	<-ch
+	rw.RUnlock()
+}
+`)
+	if n := linttest.CountRule(fs, "lockcheck"); n != 1 || !linttest.HasMessage(fs, "held across channel receive") {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestDocAndScope(t *testing.T) {
+	r := rule(t)[0]
+	if r.Doc() == "" {
+		t.Error("empty Doc")
+	}
+	for rel, want := range map[string]bool{
+		"internal/serve":    true,
+		"internal/profile":  true,
+		"internal/obs":      true,
+		"internal/parallel": true,
+		"internal/gpusim":   false,
+		"cmd/astra-lint":    false,
+	} { // lint:ok map-range independent assertions, order-free
+		if got := r.Applies(rel); got != want {
+			t.Errorf("Applies(%q) = %v, want %v", rel, got, want)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"astra/internal/lint"
+	"astra/internal/lint/linttest"
+)
+
+func rule(t *testing.T) []lint.Rule {
+	t.Helper()
+	rs, err := lint.ByNames([]string{"lockcheck"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestHeldAcrossChannelOps(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+var mu sync.Mutex
+var ch = make(chan int)
+func Send() {
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+func Recv() {
+	mu.Lock()
+	<-ch
+	mu.Unlock()
+}
+func Sel() {
+	mu.Lock()
+	select {
+	case <-ch:
+	}
+	mu.Unlock()
+}
+`)
+	if linttest.CountRule(fs, "lockcheck") != 3 || !linttest.HasMessage(fs, "held across channel send") {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestHeldAcrossBlockingCalls(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import (
+	"sync"
+	"time"
+)
+var mu sync.Mutex
+var wg sync.WaitGroup
+func Sleep() {
+	mu.Lock()
+	defer mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+func Wait() {
+	mu.Lock()
+	wg.Wait()
+	mu.Unlock()
+}
+`)
+	if linttest.CountRule(fs, "lockcheck") != 2 {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestMissingUnlock(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+type S struct{ mu sync.Mutex; n int }
+func (s *S) Leak(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		return 0 // early return leaks the lock
+	}
+	s.mu.Unlock()
+	return s.n
+}
+func (s *S) Clean() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+`)
+	if linttest.CountRule(fs, "lockcheck") != 1 || !linttest.HasMessage(fs, "returns while holding") {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestRecursiveAcquisition(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+var mu sync.Mutex
+var rw sync.RWMutex
+func Double() {
+	mu.Lock()
+	mu.Lock() // self-deadlock
+	mu.Unlock()
+	mu.Unlock()
+}
+func SharedReaders() int {
+	rw.RLock()
+	rw.RLock() // RLock under RLock is permitted (shared mode)
+	rw.RUnlock()
+	rw.RUnlock()
+	return 0
+}
+`)
+	if linttest.CountRule(fs, "lockcheck") != 1 || !linttest.HasMessage(fs, "recursive acquisition") {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestOrderInversion(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+var a, b sync.Mutex
+func AB() {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+func BA() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+`)
+	if linttest.CountRule(fs, "lockcheck") != 1 || !linttest.HasMessage(fs, "ABBA deadlock") {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestBranchDisagreement(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+var mu sync.Mutex
+func Uneven(c bool) {
+	if c {
+		mu.Lock()
+	}
+	mu.Unlock()
+}
+`)
+	if linttest.CountRule(fs, "lockcheck") == 0 {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestUnlockWithoutLock(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+var mu sync.Mutex
+func Bare() { mu.Unlock() }
+`)
+	if linttest.CountRule(fs, "lockcheck") != 1 || !linttest.HasMessage(fs, "without a matching Lock") {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+var mu sync.Mutex
+var ch = make(chan int, 8)
+func Handoff() {
+	mu.Lock()
+	ch <- 1 // lint:ok lockcheck buffered channel, send cannot block here
+	mu.Unlock()
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("suppressed fixture still has findings: %v", fs)
+	}
+}
+
+// TestCleanIdioms locks the analyzer's false-positive surface: the repo's
+// real patterns — defer unlock, unlock-before-send, sharded lock identity,
+// branch-balanced early unlock — must stay quiet.
+func TestCleanIdioms(t *testing.T) {
+	fs := linttest.Check(t, rule(t), `package pkg
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+type Index struct{ shards [4]shard }
+
+func (ix *Index) Get(k string) int {
+	sh := &ix.shards[len(k)%4]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m[k]
+}
+
+var mu sync.Mutex
+var ch = make(chan int)
+var state int
+
+func HandoffAfterUnlock() {
+	mu.Lock()
+	v := state
+	mu.Unlock()
+	ch <- v
+}
+
+func Balanced(c bool) {
+	mu.Lock()
+	if c {
+		state++
+	} else {
+		state--
+	}
+	mu.Unlock()
+}
+
+func EarlyOut(c bool) {
+	mu.Lock()
+	if c {
+		mu.Unlock()
+		return
+	}
+	state++
+	mu.Unlock()
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("clean idioms flagged: %v", fs)
+	}
+}

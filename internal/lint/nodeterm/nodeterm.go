@@ -1,15 +1,23 @@
-// Package nodeterm is Astra's determinism linter. The whole reproduction
-// rests on bit-identical replay — the simulated device, the enumerator and
-// the explorer must produce the same schedule and the same measurements on
-// every run — so the runtime packages must not consult wall-clock time, the
-// global (unseeded) math/rand source, or Go's randomized map iteration
-// order where the order can leak into results.
+// Package nodeterm holds Astra's determinism rule family. The whole
+// reproduction rests on bit-identical replay — the simulated device, the
+// enumerator and the explorer must produce the same schedule and the same
+// measurements on every run — so the runtime packages must not consult the
+// wall clock, the process environment, the global (unseeded) math/rand
+// source, or Go's randomized map iteration order where the order can leak
+// into results.
 //
-// Three rules, checked with go/types over the package source (no external
-// analysis framework, so the linter builds with the stdlib alone):
+// Five rules, checked with go/types over the package source (the shared
+// internal/lint loader; no external analysis framework, so the linter
+// builds with the stdlib alone):
 //
 //   - time-now: any call to time.Now. Simulated time lives on the session
 //     clock; wall-clock reads make traces and reports non-reproducible.
+//   - wall-clock: time.Since / time.Until — the same wall-clock read with
+//     the subtraction hidden inside, and the form that actually sneaks
+//     into timing code ("just measure this once...").
+//   - env-read: os.Getenv / os.LookupEnv / os.Environ. Behaviour keyed on
+//     ambient environment differs machine to machine; configuration enters
+//     through explicit options, never through the environment.
 //   - global-rand: package-level math/rand calls (rand.Intn, rand.Float64,
 //     …), which draw from the global, seed-racy source. Deterministic code
 //     threads an explicit *rand.Rand from rand.New(rand.NewSource(seed)).
@@ -18,256 +26,163 @@
 //     order-independent, which the linter cannot see — sort the keys, or
 //     suppress with a justification.
 //
-// A finding is suppressed by a comment containing "nodeterm:ok" on the
-// flagged line or the line above, conventionally with a reason:
+// A finding is suppressed by a marker on the flagged line or the line
+// above, conventionally with a reason (the legacy nodeterm:ok spelling
+// still covers the whole family):
 //
-//	for k, v := range bindings { // nodeterm:ok order-independent copy
+//	for k, v := range bindings { // lint:ok map-range order-independent copy
 package nodeterm
 
 import (
 	"fmt"
 	"go/ast"
-	"go/importer"
-	"go/parser"
-	"go/token"
 	"go/types"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"astra/internal/lint"
 )
 
-// Finding is one determinism violation.
-type Finding struct {
-	Pos     token.Position
-	Rule    string // "time-now", "global-rand" or "map-range"
-	Message string
+// Scope is the deterministic core: the packages whose output feeds
+// schedules, measurements or reports, held to bit-identical replay. The
+// lint framework itself is included — order-stable linter output is a
+// determinism contract too.
+var Scope = []string{
+	"internal/gpusim",
+	"internal/wire",
+	"internal/distsim",
+	"internal/enumerate",
+	"internal/parallel",
+	"internal/analyze",
+	"internal/whatif",
+	"internal/serve",
+	"internal/lint",
 }
 
-// String renders the finding in the file:line:col: style editors understand.
-func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+func init() {
+	lint.Register(timeNowRule{})
+	lint.Register(wallClockRule{})
+	lint.Register(envReadRule{})
+	lint.Register(globalRandRule{})
+	lint.Register(mapRangeRule{})
 }
 
-// Checker lints packages of one module. It owns the file set and the
-// memoized type-checked imports, so linting several packages shares work.
-type Checker struct {
-	// Root is the module root directory; ModulePath its import path prefix
-	// (e.g. "astra").
-	Root       string
-	ModulePath string
-	// IncludeTests lints *_test.go files too (off by default: tests may
-	// range maps freely — they assert, they don't schedule).
-	IncludeTests bool
-
-	fset *token.FileSet
-	pkgs map[string]*types.Package
-	std  types.Importer
-}
-
-// NewChecker prepares a checker for the module rooted at root.
-func NewChecker(root, modulePath string) *Checker {
-	return &Checker{
-		Root:       root,
-		ModulePath: modulePath,
-		fset:       token.NewFileSet(),
-		pkgs:       map[string]*types.Package{},
-	}
-}
-
-// CheckDir lints one package directory and returns its findings sorted by
-// position. Type-check errors in imports are tolerated where possible; an
-// unparseable target package is an error.
-func (c *Checker) CheckDir(dir string) ([]Finding, error) {
-	files, err := c.parseDir(dir, c.IncludeTests)
-	if err != nil {
-		return nil, err
-	}
-	if len(files) == 0 {
-		return nil, nil
-	}
-	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Uses:  map[*ast.Ident]types.Object{},
-	}
-	conf := types.Config{
-		Importer: c,
-		// The linter reads types, it does not gate the build: collect
-		// everything it can even if an import fails to fully check.
-		Error: func(error) {},
-	}
-	path := c.importPathFor(dir)
-	_, _ = conf.Check(path, c.fset, files, info)
-
-	var out []Finding
-	for _, f := range files {
-		ok := suppressedLines(c.fset, f)
+// pkgCallRule is the shared shape of the call-matching rules: flag calls
+// pkg.Fn for a fixed (package, function) → message table.
+func checkCalls(p *lint.Package, rule string, match func(pkgPath, fn string) (string, bool)) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				if fnd, hit := c.checkCall(n, info); hit && !ok[fnd.Pos.Line] {
-					out = append(out, fnd)
-				}
-			case *ast.RangeStmt:
-				if fnd, hit := c.checkRange(n, info); hit && !ok[fnd.Pos.Line] {
-					out = append(out, fnd)
-				}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn, ok := p.CalleePkgFunc(call)
+			if !ok {
+				return true
+			}
+			if msg, hit := match(pkgPath, fn); hit {
+				out = append(out, lint.NewFinding(p.Position(call.Pos()), rule, msg))
 			}
 			return true
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Column < b.Column
-	})
-	return out, nil
-}
-
-// checkCall flags time.Now and package-level math/rand calls.
-func (c *Checker) checkCall(call *ast.CallExpr, info *types.Info) (Finding, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return Finding{}, false
-	}
-	id, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return Finding{}, false
-	}
-	pn, ok := info.Uses[id].(*types.PkgName)
-	if !ok {
-		return Finding{}, false
-	}
-	switch pn.Imported().Path() {
-	case "time":
-		if sel.Sel.Name == "Now" {
-			return Finding{
-				Pos:     c.fset.Position(call.Pos()),
-				Rule:    "time-now",
-				Message: "time.Now breaks replay; use the session's simulated clock",
-			}, true
-		}
-	case "math/rand", "math/rand/v2":
-		// Constructors of explicit sources are the fix, not the bug.
-		if sel.Sel.Name == "New" || sel.Sel.Name == "NewSource" || sel.Sel.Name == "NewPCG" || sel.Sel.Name == "NewZipf" {
-			return Finding{}, false
-		}
-		return Finding{
-			Pos:     c.fset.Position(call.Pos()),
-			Rule:    "global-rand",
-			Message: fmt.Sprintf("rand.%s uses the global source; thread a *rand.Rand from rand.New(rand.NewSource(seed))", sel.Sel.Name),
-		}, true
-	}
-	return Finding{}, false
-}
-
-// checkRange flags range statements over map values.
-func (c *Checker) checkRange(rng *ast.RangeStmt, info *types.Info) (Finding, bool) {
-	tv, ok := info.Types[rng.X]
-	if !ok || tv.Type == nil {
-		return Finding{}, false
-	}
-	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-		return Finding{}, false
-	}
-	return Finding{
-		Pos:     c.fset.Position(rng.Pos()),
-		Rule:    "map-range",
-		Message: fmt.Sprintf("range over map %s iterates in randomized order; sort the keys or justify with nodeterm:ok", types.TypeString(tv.Type, nil)),
-	}, true
-}
-
-// suppressedLines collects the line numbers a nodeterm:ok comment covers:
-// the comment's own line and the one below it (so the marker can sit on the
-// flagged line or just above).
-func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
-	out := map[int]bool{}
-	for _, cg := range f.Comments {
-		for _, cmt := range cg.List {
-			if !strings.Contains(cmt.Text, "nodeterm:ok") {
-				continue
-			}
-			line := fset.Position(cmt.Pos()).Line
-			out[line] = true
-			out[line+1] = true
-		}
-	}
 	return out
 }
 
-// Import implements types.Importer: module-local paths type-check from
-// source under Root (go/build knows nothing about this module's layout);
-// everything else — in practice the stdlib — delegates to the stdlib
-// source importer, which honours build constraints.
-func (c *Checker) Import(path string) (*types.Package, error) {
-	if pkg, ok := c.pkgs[path]; ok {
-		return pkg, nil
-	}
-	if path != c.ModulePath && !strings.HasPrefix(path, c.ModulePath+"/") {
-		if c.std == nil {
-			c.std = importer.ForCompiler(c.fset, "source", nil)
+type timeNowRule struct{}
+
+func (timeNowRule) Name() string { return "time-now" }
+func (timeNowRule) Doc() string {
+	return "wall-clock read via time.Now in the deterministic core; use the session's simulated clock"
+}
+func (timeNowRule) Applies(rel string) bool { return lint.InScope(rel, Scope) }
+func (timeNowRule) Check(p *lint.Package) []lint.Finding {
+	return checkCalls(p, "time-now", func(pkgPath, fn string) (string, bool) {
+		if pkgPath == "time" && fn == "Now" {
+			return "time.Now breaks replay; use the session's simulated clock", true
 		}
-		pkg, err := c.std.Import(path)
-		if pkg != nil {
-			c.pkgs[path] = pkg
-		}
-		return pkg, err
-	}
-	dir := c.Root
-	if path != c.ModulePath {
-		dir = filepath.Join(c.Root, filepath.FromSlash(strings.TrimPrefix(path, c.ModulePath+"/")))
-	}
-	files, err := c.parseDir(dir, false)
-	if err != nil {
-		return nil, err
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("nodeterm: no Go files for %q in %s", path, dir)
-	}
-	conf := types.Config{Importer: c, Error: func(error) {}}
-	pkg, err := conf.Check(path, c.fset, files, nil)
-	if pkg != nil {
-		// Memoize even a partially checked package: the linter only reads
-		// identities and map-ness, which survive most downstream errors.
-		c.pkgs[path] = pkg
-	}
-	return pkg, err
+		return "", false
+	})
 }
 
-// importPathFor inverts dirFor for a directory under Root.
-func (c *Checker) importPathFor(dir string) string {
-	rel, err := filepath.Rel(c.Root, dir)
-	if err != nil || rel == "." {
-		return c.ModulePath
-	}
-	return c.ModulePath + "/" + filepath.ToSlash(rel)
+type wallClockRule struct{}
+
+func (wallClockRule) Name() string { return "wall-clock" }
+func (wallClockRule) Doc() string {
+	return "hidden wall-clock read via time.Since/time.Until in the deterministic core"
+}
+func (wallClockRule) Applies(rel string) bool { return lint.InScope(rel, Scope) }
+func (wallClockRule) Check(p *lint.Package) []lint.Finding {
+	return checkCalls(p, "wall-clock", func(pkgPath, fn string) (string, bool) {
+		if pkgPath == "time" && (fn == "Since" || fn == "Until") {
+			return fmt.Sprintf("time.%s reads the wall clock; derive durations from the simulated clock", fn), true
+		}
+		return "", false
+	})
 }
 
-// parseDir parses the buildable Go files of one directory.
-func (c *Checker) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
+type envReadRule struct{}
+
+func (envReadRule) Name() string { return "env-read" }
+func (envReadRule) Doc() string {
+	return "ambient environment read via os.Getenv/os.LookupEnv/os.Environ in the deterministic core"
+}
+func (envReadRule) Applies(rel string) bool { return lint.InScope(rel, Scope) }
+func (envReadRule) Check(p *lint.Package) []lint.Finding {
+	return checkCalls(p, "env-read", func(pkgPath, fn string) (string, bool) {
+		if pkgPath == "os" && (fn == "Getenv" || fn == "LookupEnv" || fn == "Environ") {
+			return fmt.Sprintf("os.%s makes behaviour depend on the ambient environment; thread configuration through explicit options", fn), true
+		}
+		return "", false
+	})
+}
+
+type globalRandRule struct{}
+
+func (globalRandRule) Name() string { return "global-rand" }
+func (globalRandRule) Doc() string {
+	return "draw from the global math/rand source; thread a seeded *rand.Rand instead"
+}
+func (globalRandRule) Applies(rel string) bool { return lint.InScope(rel, Scope) }
+func (globalRandRule) Check(p *lint.Package) []lint.Finding {
+	return checkCalls(p, "global-rand", func(pkgPath, fn string) (string, bool) {
+		if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+			return "", false
+		}
+		// Constructors of explicit sources are the fix, not the bug.
+		switch fn {
+		case "New", "NewSource", "NewPCG", "NewZipf":
+			return "", false
+		}
+		return fmt.Sprintf("rand.%s uses the global source; thread a *rand.Rand from rand.New(rand.NewSource(seed))", fn), true
+	})
+}
+
+type mapRangeRule struct{}
+
+func (mapRangeRule) Name() string { return "map-range" }
+func (mapRangeRule) Doc() string {
+	return "range over a map iterates in randomized order; sort the keys or justify the suppression"
+}
+func (mapRangeRule) Applies(rel string) bool { return lint.InScope(rel, Scope) }
+func (mapRangeRule) Check(p *lint.Package) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			out = append(out, lint.NewFinding(p.Position(rng.Pos()), "map-range",
+				fmt.Sprintf("range over map %s iterates in randomized order; sort the keys or justify with lint:ok map-range", types.TypeString(tv.Type, nil))))
+			return true
+		})
 	}
-	var files []*ast.File
-	for _, e := range ents {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
-			continue
-		}
-		if !includeTests && strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(c.fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	return files, nil
+	return out
 }

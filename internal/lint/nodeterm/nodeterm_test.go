@@ -1,114 +1,151 @@
-package nodeterm
+package nodeterm_test
 
 import (
-	"os"
-	"path/filepath"
 	"testing"
+
+	"astra/internal/lint"
+	"astra/internal/lint/linttest"
+	"astra/internal/lint/nodeterm"
 )
 
-const fixture = `package pkg
+func rules(t *testing.T, names ...string) []lint.Rule {
+	t.Helper()
+	rs, err := lint.ByNames(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
 
-import (
-	"math/rand"
-	"time"
-)
+func family(t *testing.T) []lint.Rule {
+	return rules(t, "time-now", "wall-clock", "env-read", "global-rand", "map-range")
+}
 
-func Bad() int {
-	t := time.Now().Nanosecond() // finding: time-now
-	n := rand.Intn(10)           // finding: global-rand
-	m := map[string]int{"a": 1}
+func TestTimeNow(t *testing.T) {
+	fs := linttest.Check(t, family(t), `package pkg
+import "time"
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	if linttest.CountRule(fs, "time-now") != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	fs := linttest.Check(t, family(t), `package pkg
+import "time"
+var t0 time.Time
+func Since() time.Duration { return time.Since(t0) }
+func Until() time.Duration { return time.Until(t0) }
+`)
+	if linttest.CountRule(fs, "wall-clock") != 2 {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestEnvRead(t *testing.T) {
+	fs := linttest.Check(t, family(t), `package pkg
+import "os"
+func Cfg() string {
+	v, _ := os.LookupEnv("B")
+	_ = os.Environ()
+	return os.Getenv("A") + v
+}
+`)
+	if linttest.CountRule(fs, "env-read") != 3 {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestGlobalRand(t *testing.T) {
+	fs := linttest.Check(t, family(t), `package pkg
+import "math/rand"
+func Draw() int { return rand.Intn(10) }
+func Seeded() *rand.Rand { return rand.New(rand.NewSource(1)) } // constructors are the fix
+`)
+	if linttest.CountRule(fs, "global-rand") != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	fs := linttest.Check(t, family(t), `package pkg
+func Sum(m map[string]int) int {
 	s := 0
-	for _, v := range m { // finding: map-range
-		s += v
-	}
-	for _, v := range m { // nodeterm:ok summing is commutative
-		s += v
-	}
-	// nodeterm:ok marker on the preceding line also suppresses
 	for _, v := range m {
 		s += v
 	}
-	r := rand.New(rand.NewSource(1)) // ok: explicit seeded source
-	return t + n + s + r.Intn(3)     // ok: method on *rand.Rand, not the package
+	for i := 0; i < 3; i++ { // not a map: stays silent
+		s += i
+	}
+	return s
 }
-`
+`)
+	if linttest.CountRule(fs, "map-range") != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+}
 
-func TestCheckerFindsAndSuppresses(t *testing.T) {
-	root := t.TempDir()
-	dir := filepath.Join(root, "pkg")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		t.Fatal(err)
+func TestSuppressionModernAndLegacy(t *testing.T) {
+	fs := linttest.Check(t, family(t), `package pkg
+func Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m { // lint:ok map-range order-independent sum
+		s += v
 	}
-	if err := os.WriteFile(filepath.Join(dir, "pkg.go"), []byte(fixture), 0o644); err != nil {
-		t.Fatal(err)
+	for _, v := range m { // nodeterm:ok commutative fold
+		s += v
 	}
-	c := NewChecker(root, "m")
-	findings, err := c.CheckDir(dir)
-	if err != nil {
-		t.Fatal(err)
+	return s
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("suppressed fixture still has findings: %v", fs)
 	}
-	want := []string{"time-now", "global-rand", "map-range"}
-	if len(findings) != len(want) {
-		t.Fatalf("got %d findings, want %d: %v", len(findings), len(want), findings)
+}
+
+func TestSuppressionNeedsReason(t *testing.T) {
+	fs := linttest.Check(t, family(t), `package pkg
+func Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m { // lint:ok map-range
+		s += v
 	}
-	for i, rule := range want {
-		if findings[i].Rule != rule {
-			t.Errorf("finding %d: rule %s, want %s (%s)", i, findings[i].Rule, rule, findings[i])
+	return s
+}
+`)
+	// The reason-less marker does not suppress, and is itself a finding.
+	if linttest.CountRule(fs, "map-range") != 1 || linttest.CountRule(fs, "suppression") != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestSuppressionWrongRuleDoesNotCover(t *testing.T) {
+	fs := linttest.Check(t, family(t), `package pkg
+import "time"
+func Stamp() int64 {
+	// lint:ok map-range wrong rule name on purpose
+	return time.Now().UnixNano()
+}
+`)
+	if linttest.CountRule(fs, "time-now") != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+}
+
+func TestScope(t *testing.T) {
+	for _, r := range family(t) {
+		if !r.Applies("internal/gpusim") || !r.Applies("internal/wire/sub") {
+			t.Errorf("%s must apply to the deterministic core", r.Name())
+		}
+		if r.Applies("cmd/astra-bench") {
+			t.Errorf("%s must not apply outside the core", r.Name())
+		}
+		if r.Doc() == "" {
+			t.Errorf("%s has no catalog doc line", r.Name())
 		}
 	}
-}
-
-func TestCheckerSkipsTestFilesByDefault(t *testing.T) {
-	root := t.TempDir()
-	dir := filepath.Join(root, "pkg")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	clean := "package pkg\n\nfunc Ok() int { return 1 }\n"
-	dirty := "package pkg\n\nfunc Sum(m map[string]int) int {\n\ts := 0\n\tfor _, v := range m {\n\t\ts += v\n\t}\n\treturn s\n}\n"
-	if err := os.WriteFile(filepath.Join(dir, "pkg.go"), []byte(clean), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(dir, "pkg_test.go"), []byte(dirty), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	c := NewChecker(root, "m")
-	findings, err := c.CheckDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(findings) != 0 {
-		t.Fatalf("test file linted by default: %v", findings)
-	}
-	c2 := NewChecker(root, "m")
-	c2.IncludeTests = true
-	findings, err = c2.CheckDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(findings) != 1 || findings[0].Rule != "map-range" {
-		t.Fatalf("IncludeTests: got %v, want one map-range finding", findings)
-	}
-}
-
-// TestCheckerOnRealPackage smoke-checks the module-local importer path: the
-// wire package imports enumerate, gpusim, graph and friends, all of which
-// must resolve through the custom importer for range-over-map types to be
-// known.
-func TestCheckerOnRealPackage(t *testing.T) {
-	root, err := filepath.Abs("../../..")
-	if err != nil {
-		t.Fatal(err)
-	}
-	c := NewChecker(root, "astra")
-	findings, err := c.CheckDir(filepath.Join(root, "internal", "wire"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// The tree is kept lint-clean; what matters here is that the checker
-	// resolved the package without error. Any findings mean a regression
-	// either in wire or in the checker itself.
-	if len(findings) != 0 {
-		t.Errorf("internal/wire has findings: %v", findings)
+	if !lint.InScope("internal/lint", nodeterm.Scope) {
+		t.Error("the lint framework itself is part of the deterministic core")
 	}
 }

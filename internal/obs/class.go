@@ -24,6 +24,8 @@ func KernelClasses() []string {
 // KernelClass returns the class of a kernel name. Matching is by the
 // launch-name conventions ("gemm_*", "ew_*", "copy*", "allreduce.*"); names
 // outside them are ClassOther.
+//
+//astra:hotpath
 func KernelClass(name string) string {
 	switch {
 	case strings.HasPrefix(name, "allreduce."):

@@ -173,11 +173,13 @@ var interned sync.Map // string -> string
 // Intern returns the canonical copy of s. The first caller's copy wins;
 // later equal strings resolve to it and their own allocation becomes
 // garbage immediately instead of being retained by a long-lived index.
+//
+//astra:hotpath
 func Intern(s string) string {
-	if c, ok := interned.Load(s); ok {
+	if c, ok := interned.Load(s); ok { // lint:ok hotpath sync.Map key boxing, traded for index-wide string dedup
 		return c.(string)
 	}
-	c, _ := interned.LoadOrStore(s, s)
+	c, _ := interned.LoadOrStore(s, s) // lint:ok hotpath first-sighting slow path, once per distinct key
 	return c.(string)
 }
 
@@ -222,6 +224,9 @@ type Index struct {
 // polBox wraps the policy interface so it can live in an atomic.Pointer.
 type polBox struct{ p SamplePolicy }
 
+// shardFor hashes a key onto its stripe.
+//
+//astra:hotpath
 func (ix *Index) shardFor(k Key) *shard {
 	return &ix.shards[maphash.String(shardSeed, string(k))%numShards]
 }
@@ -273,6 +278,8 @@ func (ix *Index) SetTrial(t int) { ix.trial.Store(int64(t)) }
 // is satisfied further samples are ignored: under the default
 // FixedSamples(1) policy this is exactly the paper's first-measurement-wins
 // rule (§4.1 — mini-batch predictability makes one measurement suffice).
+//
+//astra:hotpath
 func (ix *Index) Record(k Key, us float64) {
 	pol := ix.Policy()
 	sh := ix.shardFor(k)
@@ -302,6 +309,8 @@ func (ix *Index) Record(k Key, us float64) {
 }
 
 // get returns the current statistics for k under the shard lock.
+//
+//astra:hotpath
 func (ix *Index) get(k Key) (Stats, bool) {
 	sh := ix.shardFor(k)
 	sh.mu.Lock()
@@ -312,6 +321,8 @@ func (ix *Index) get(k Key) (Stats, bool) {
 
 // Has reports whether the key counts as measured — present and with enough
 // samples to satisfy the policy. It counts toward the hit/miss statistics.
+//
+//astra:hotpath
 func (ix *Index) Has(k Key) bool {
 	st, ok := ix.get(k)
 	measured := ok && ix.Policy().Satisfied(st)

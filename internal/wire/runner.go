@@ -319,6 +319,9 @@ func (r *Runner) multiStream() bool {
 	return r.Plan.Opts.StreamAdapt && r.Plan.Opts.NumStreams >= 2
 }
 
+// recordEvent places a synchronization event and counts it.
+//
+//astra:hotpath
 func (r *Runner) recordEvent(st *dispatchState, stream int) *gpusim.Event {
 	st.events++
 	return r.Dev.RecordEvent(stream)
@@ -327,6 +330,8 @@ func (r *Runner) recordEvent(st *dispatchState, stream int) *gpusim.Event {
 // recordProfEvent marks an event as pure profiling instrumentation; its
 // cost is what the §6.4 "<0.5% overhead" claim is about. Synchronization
 // events exist for correctness regardless of profiling.
+//
+//astra:hotpath
 func (r *Runner) recordProfEvent(st *dispatchState, stream int) *gpusim.Event {
 	st.profEvents++
 	return r.recordEvent(st, stream)
@@ -336,9 +341,11 @@ func (r *Runner) recordProfEvent(st *dispatchState, stream int) *gpusim.Event {
 // say how many of each equivalence class go to stream 1 (§4.5.5); classes
 // without a variable (capped or stream adaptation off) stay on stream 0.
 // The returned map is the state's scratch map, valid until the next epoch.
+//
+//astra:hotpath
 func (r *Runner) streamAssignment(st *dispatchState, ep *enumerate.Epoch) map[*enumerate.Unit]int {
 	if st.assign == nil {
-		st.assign = map[*enumerate.Unit]int{}
+		st.assign = map[*enumerate.Unit]int{} // lint:ok hotpath lazy scratch-map init, once per runner state
 	}
 	out := st.assign
 	clear(out)
@@ -486,9 +493,12 @@ func unitLabel(u *enumerate.Unit) string {
 }
 
 // dispatchUnit launches the kernels of one schedule unit on its stream.
+//
+//astra:hotpath
 func (r *Runner) dispatchUnit(st *dispatchState, u *enumerate.Unit, stream int) {
 	if r.obs != nil && r.traceDetail {
 		t0 := r.Dev.CPUTimeUs()
+		// lint:ok hotpath trace-detail closure, only runs when -trace-detail is on
 		defer func() {
 			r.obs.Trace.AddSpan(obs.PIDDispatch, obs.TIDWirer, unitLabel(u), "dispatch",
 				r.traceOffsetUs+t0, r.Dev.CPUTimeUs()-t0, map[string]interface{}{"stream": stream})
@@ -548,6 +558,8 @@ func (r *Runner) dispatchUnit(st *dispatchState, u *enumerate.Unit, stream int) 
 }
 
 // chunkSize reads the group's chunk variable (or the fixed policy).
+//
+//astra:hotpath
 func (r *Runner) chunkSize(u *enumerate.Unit) int {
 	if v := r.Plan.ChunkVars[u.Group]; v != nil {
 		c, err := strconv.Atoi(v.CurrentLabel())
@@ -562,6 +574,9 @@ func (r *Runner) chunkSize(u *enumerate.Unit) int {
 	return 1
 }
 
+// libFor reads the unit's kernel-library variable (or the default).
+//
+//astra:hotpath
 func (r *Runner) libFor(u *enumerate.Unit) kernels.Library {
 	if v := r.Plan.KernelVars[u]; v != nil {
 		return kernels.Library(v.Current())
@@ -573,6 +588,8 @@ func (r *Runner) libFor(u *enumerate.Unit) kernels.Library {
 // ceil(n/chunk) fused GEMMs, gather copies when the active allocation does
 // not keep the chunk's operands contiguous, and the residual accumulator
 // adds of a partially-fused ladder.
+//
+//astra:hotpath
 func (r *Runner) dispatchGroup(st *dispatchState, u *enumerate.Unit, stream int) {
 	grp := u.Group
 	chunk := r.chunkSize(u)
@@ -644,6 +661,9 @@ func fusedShape(grp *enumerate.FusionGroup, members []*graph.Node) kernels.GEMMS
 	return s
 }
 
+// launch forwards one kernel spec to the device and counts it.
+//
+//astra:hotpath
 func (r *Runner) launch(st *dispatchState, stream int, spec gpusim.KernelSpec) {
 	r.Dev.AdvanceCPU(r.Cfg.PerOpCPUUs)
 	r.Dev.Launch(stream, spec)
@@ -652,6 +672,8 @@ func (r *Runner) launch(st *dispatchState, stream int, spec gpusim.KernelSpec) {
 
 // eval computes a node's value on the CPU oracle, materializing any view
 // transposes its inputs read through.
+//
+//astra:hotpath
 func (r *Runner) eval(st *dispatchState, n *graph.Node) {
 	if !st.evalValues {
 		return
