@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet verify lint escape-check escape-baseline race bench bench-json experiments experiments-quick cover cover-check analyze whatif serve serve-smoke clean
+.PHONY: all build test test-short vet verify lint escape-check escape-baseline race bench bench-json experiments experiments-quick cover cover-check analyze whatif serve serve-smoke costmodel clean
 
 all: build lint test race
 
@@ -105,6 +105,19 @@ serve:
 serve-smoke:
 	$(GO) run ./cmd/astra-serve -smoke -smoke-tenants 8 -smoke-jobs 3
 	$(GO) run ./cmd/astra-bench -experiment ext-serve -parallel -1
+
+# Cost-model gate (CI's costmodel-smoke job; see docs/COSTMODEL.md): the
+# ext-costmodel harness trains the model from a donor session and proves the
+# prior-seeded exploration converges in >= 25% fewer trials on at least 3 of
+# 4 model/fabric cells, never prunes a cold-run winner, and stays within
+# 0.1% of both the cold run and the exhaustive comm sweep — then proves the
+# whole table byte-identical at -parallel 1 vs 4.
+COSTMODEL_OUT ?= /tmp/astra-costmodel
+costmodel:
+	$(GO) run ./cmd/astra-bench -experiment ext-costmodel -parallel 1 > $(COSTMODEL_OUT).p1
+	$(GO) run ./cmd/astra-bench -experiment ext-costmodel -parallel 4 > $(COSTMODEL_OUT).p4
+	cmp $(COSTMODEL_OUT).p1 $(COSTMODEL_OUT).p4
+	@echo "costmodel: acceptance gates green, output byte-identical at -parallel 1 vs 4"
 
 # Reduced per-table benchmarks (batch 16/32), with allocation stats.
 bench:

@@ -11,6 +11,7 @@ package astra
 import (
 	"testing"
 
+	"astra/internal/costmodel"
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
 	"astra/internal/kernels"
@@ -94,5 +95,31 @@ func TestWiredStepAllocBudget(t *testing.T) {
 	const budget = 4000.0
 	if avg > budget {
 		t.Errorf("wired step allocates %.0f/run, budget %.0f", avg, budget)
+	}
+}
+
+// TestCostModelPredictAllocBudget pins the cost-model prediction hot path:
+// once trained, Predict hashes feature tuples straight into the bucket
+// table and must not allocate at all (measured steady state: 0). The
+// explorer consults it once per (variable, context), but the serve layer's
+// shared models field many concurrent sessions — a per-call allocation
+// here becomes fleet-wide GC pressure.
+func TestCostModelPredictAllocBudget(t *testing.T) {
+	m := costmodel.NewModel()
+	meta := costmodel.Meta{Model: "sublstm", Scale: "default", Batch: 16, Workers: 4, Fabric: "pcie3"}
+	labels := []string{"1", "2", "4", "8"}
+	for _, l := range labels {
+		m.Observe(meta, "g0.chunk", l, 100)
+	}
+	cold := costmodel.Meta{Model: "unseen", Batch: 64}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, l := range labels {
+			m.Predict(meta, "g0.chunk", l)  // L0 hit
+			m.Predict(cold, "g0.chunk", l)  // L2 backoff
+			m.Predict(cold, "mystery.x", l) // full miss
+		}
+	})
+	if avg > 0 {
+		t.Errorf("Predict allocates %.1f per 12-call round, budget 0", avg)
 	}
 }

@@ -53,6 +53,14 @@ type Var struct {
 	// the setup allocations. The cache is invalidated by context change.
 	keyCtx string
 	keys   []profile.Key
+
+	// Per-context prior-plan cache, mirroring the key cache: the explorer
+	// asks the attached Prior for a visit plan once per (variable, context)
+	// and reuses it across trials. planOK distinguishes "no plan yet" from
+	// a cached zero plan; Explorer.invalidatePlans clears it on thaw.
+	planCtx string
+	plan    PriorPlan
+	planOK  bool
 }
 
 // NewVar builds a variable with the given choice labels.
@@ -92,6 +100,8 @@ func (v *Var) Initialize() {
 	v.current = 0
 	v.frozen = false
 	v.frozenCtx = ""
+	v.planOK = false
+	v.plan = PriorPlan{}
 }
 
 // Key returns the profile key for the variable's current (context, choice).

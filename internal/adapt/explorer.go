@@ -51,6 +51,18 @@ type Explorer struct {
 	mFrozen    *obs.Gauge
 	mVarsTotal *obs.Gauge
 	mReexplore *obs.Counter
+
+	// prior, when non-nil, reorders and prunes each variable's candidate
+	// visit sequence from learned cost predictions (see prior.go and
+	// internal/costmodel). Frozen choices are still always measured bests.
+	prior      Prior
+	priorStats PriorStats
+	// prunedEver audits every "varID=label" any plan pruned (see
+	// PrunedChoices) — harness cells assert a cold run's winners are
+	// disjoint from it.
+	prunedEver                  map[string]bool
+	mPriorHits, mPriorMisses    *obs.Counter
+	mPriorPruned, mPriorRankInv *obs.Counter
 }
 
 // NewExplorer initializes the tree and positions it at the first
@@ -66,8 +78,16 @@ func NewExplorer(root *Tree, ix *profile.Index) *Explorer {
 // jobs share one profile.Index without cross-talk, each under its own
 // namespace, while identical jobs (same baseCtx) warm-start off each other.
 func NewExplorerAt(root *Tree, ix *profile.Index, baseCtx string) *Explorer {
+	return NewExplorerPrior(root, ix, baseCtx, nil)
+}
+
+// NewExplorerPrior is NewExplorerAt with a learned cost-model prior attached
+// (nil for none). The prior must be set at construction: the first tree walk
+// happens here, and the visit plan of the very first variable already
+// depends on it.
+func NewExplorerPrior(root *Tree, ix *profile.Index, baseCtx string, prior Prior) *Explorer {
 	e := &Explorer{
-		root: root, ix: ix, base: baseCtx, vars: root.Vars(),
+		root: root, ix: ix, base: baseCtx, vars: root.Vars(), prior: prior,
 		frozeAt: map[string]int{}, wasFrozen: map[string]bool{},
 	}
 	root.Initialize()
@@ -84,6 +104,16 @@ func (e *Explorer) Instrument(reg *obs.Registry) {
 	e.mFrozen = reg.Gauge("explore.frozen_vars", "adaptive variables frozen at their best choice")
 	e.mVarsTotal = reg.Gauge("explore.vars_total", "adaptive variables in the update tree")
 	e.mReexplore = reg.Counter("explore.reexplorations", "in-session thaw/re-explore rounds")
+	if e.prior != nil {
+		e.mPriorHits = reg.Counter("costmodel.prior_hits", "freezes where the prior's top-ranked candidate won")
+		e.mPriorMisses = reg.Counter("costmodel.prior_misses", "freezes where the measured best was not ranked first")
+		e.mPriorPruned = reg.Counter("costmodel.pruned", "candidate measurements skipped by cost-model pruning")
+		e.mPriorRankInv = reg.Counter("costmodel.rank_inversions", "summed predicted-rank positions of measured bests on prior misses")
+		e.mPriorHits.Add(float64(e.priorStats.Hits))
+		e.mPriorMisses.Add(float64(e.priorStats.Misses))
+		e.mPriorPruned.Add(float64(e.priorStats.Pruned))
+		e.mPriorRankInv.Add(float64(e.priorStats.RankInversions))
+	}
 	frozen, total := e.FrozenCount()
 	e.mFrozen.Set(float64(frozen))
 	e.mVarsTotal.Set(float64(total))
@@ -189,6 +219,9 @@ func (e *Explorer) Observe(metrics map[string]float64) {
 			continue
 		}
 		e.ix.Record(v.Key(), m)
+		if e.prior != nil {
+			e.prior.Observe(v.ctx, v.ID, v.CurrentLabel(), m)
+		}
 	}
 }
 
@@ -259,6 +292,11 @@ func (e *Explorer) Thaw(varIDs ...string) int {
 	if e.mReexplore != nil {
 		e.mReexplore.Inc()
 	}
+	// The thaw evicted the measurements the prior's recent knowledge came
+	// from (drift: the device changed under us) — decay the model and drop
+	// every cached plan so re-exploration re-ranks against state that the
+	// re-measurements about to stream in can dominate.
+	e.invalidatePlans()
 	e.noProgress = 0
 	e.lastSamples = e.ix.Samples()
 	e.ReExplore()
@@ -306,13 +344,20 @@ func (e *Explorer) setupLeaf(v *Var, ctx string) bool {
 		return true
 	}
 	v.frozen = false
-	for c := range v.Labels {
+	plan := e.planFor(v)
+	for i := range v.Labels {
+		c := plan.visit(i)
+		if plan.pruned(c) {
+			continue
+		}
 		if !e.ix.Has(v.KeyFor(c)) {
 			v.current = c
 			v.record = true
 			return false
 		}
 	}
+	// Best ranks only measured keys, so pruned (hence unmeasured)
+	// candidates are simply absent from the decision.
 	best, _, ok := e.ix.Best(ctx, v.ID, v.Labels)
 	if !ok {
 		panic("adapt: all choices measured but no best — empty label set?")
@@ -320,6 +365,7 @@ func (e *Explorer) setupLeaf(v *Var, ctx string) bool {
 	v.current = best
 	v.frozen = true
 	v.frozenCtx = ctx
+	e.notePriorOutcome(v, best)
 	return true
 }
 
@@ -399,7 +445,12 @@ func (e *Explorer) setupExhaustive(t *Tree, ctx string) bool {
 		return true
 	}
 	v.frozen = false
-	for c := range v.Labels {
+	plan := e.planFor(v)
+	for i := range v.Labels {
+		c := plan.visit(i)
+		if plan.pruned(c) {
+			continue
+		}
 		if !e.ix.Has(v.KeyFor(c)) {
 			v.current = c
 			v.record = true
@@ -414,6 +465,7 @@ func (e *Explorer) setupExhaustive(t *Tree, ctx string) bool {
 	v.current = best
 	v.frozen = true
 	v.frozenCtx = ctx
+	e.notePriorOutcome(v, best)
 	e.applyTuple(t, best)
 	freezeChildren()
 	return true
@@ -432,7 +484,12 @@ func (e *Explorer) applyTuple(t *Tree, idx int) {
 // setupFork explores the policy variable's subtree to completion under each
 // policy choice, takes one end-to-end validation measurement of the best
 // configuration per choice, and finally freezes the policy at the fastest
-// validated choice (§4.5.2).
+// validated choice (§4.5.2). The cost-model prior is deliberately not
+// consulted for the policy variable itself: fork policies exist to be
+// validated end-to-end, and pruning one would skip exactly that validation.
+// The subtree under each policy still benefits — its variables re-plan per
+// policy context, and the model's features are context-free, so the prior
+// transfers across the fork's branches.
 func (e *Explorer) setupFork(t *Tree, ctx string) bool {
 	policy := t.Children[0].Var
 	sub := t.Children[1]

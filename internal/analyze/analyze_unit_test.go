@@ -2,6 +2,7 @@ package analyze
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"astra/internal/obs"
@@ -275,6 +276,73 @@ func TestDiffTopClassShareOfAbsoluteDelta(t *testing.T) {
 	d := Diff(a, b)
 	if d.TopClass != ClassGEMM || d.TopClassShare != -1 {
 		t.Fatalf("speedup blame = %q/%v, want %q/-1", d.TopClass, d.TopClassShare, ClassGEMM)
+	}
+}
+
+func TestConvergePriorCountersFromEvents(t *testing.T) {
+	// The prior_* event fields are cumulative, so the report totals are the
+	// maxima across the log — and they survive into the converge text only
+	// when nonzero (unguided reports must stay byte-identical).
+	events := []obs.TrialEvent{
+		{Phase: "explore", Trial: 1, BatchUs: 10, TotalVars: 2, FrozenVars: 1,
+			PriorHits: 1, PriorPruned: 2},
+		{Phase: "explore", Trial: 2, BatchUs: 10, TotalVars: 2, FrozenVars: 2,
+			PriorHits: 1, PriorMisses: 1, PriorPruned: 3, PriorRankInv: 2},
+		{Phase: "wired", Trial: 2, Batch: 3, BatchUs: 8, TotalVars: 2, FrozenVars: 2,
+			PriorHits: 1, PriorMisses: 1, PriorPruned: 3, PriorRankInv: 2},
+	}
+	c := convergeFromEvents(events)
+	if c.PriorHits != 1 || c.PriorMisses != 1 || c.PriorPruned != 3 || c.PriorRankInversions != 2 {
+		t.Fatalf("prior counters = %d/%d/%d/%d, want 1/1/3/2",
+			c.PriorHits, c.PriorMisses, c.PriorPruned, c.PriorRankInversions)
+	}
+	var buf strings.Builder
+	if err := WriteConvergeReport(&buf, &Run{Converge: c}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !strings.Contains(buf.String(), "prior: 1 hit(s) / 1 miss(es) at freeze, 3 candidate(s) pruned, rank inversions 2") {
+		t.Fatalf("converge report missing prior line:\n%s", buf.String())
+	}
+
+	// An unguided log renders no prior line at all.
+	for i := range events {
+		events[i].PriorHits, events[i].PriorMisses = 0, 0
+		events[i].PriorPruned, events[i].PriorRankInv = 0, 0
+	}
+	buf.Reset()
+	if err := WriteConvergeReport(&buf, &Run{Converge: convergeFromEvents(events)}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if strings.Contains(buf.String(), "prior:") {
+		t.Fatalf("unguided converge report grew a prior line:\n%s", buf.String())
+	}
+}
+
+func TestDiffSurfacesTrialDeltas(t *testing.T) {
+	// `-diff cold.jsonl guided.jsonl` must surface the trial saving: the
+	// convergence deltas are B − A, negative when the guided run froze
+	// earlier.
+	a := runOf(100, map[string]float64{ClassGEMM: 100})
+	a.Converge = &ConvergeReport{Trials: 17, TrialsToFreeze: 17}
+	b := runOf(100, map[string]float64{ClassGEMM: 100})
+	b.Converge = &ConvergeReport{Trials: 11, TrialsToFreeze: 11}
+	d := Diff(a, b)
+	if d.TrialsA != 17 || d.TrialsB != 11 || d.TrialsDelta != -6 {
+		t.Fatalf("trials = %d/%d/%d, want 17/11/-6", d.TrialsA, d.TrialsB, d.TrialsDelta)
+	}
+	if d.TrialsToFreezeDelta != -6 {
+		t.Fatalf("to-freeze delta = %d, want -6", d.TrialsToFreezeDelta)
+	}
+	var buf strings.Builder
+	if err := WriteDiffReport(&buf, d); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !strings.Contains(buf.String(), "convergence: trials 17 → 11 (-6), to-freeze 17 → 11 (-6)") {
+		t.Fatalf("diff report missing convergence line:\n%s", buf.String())
+	}
+	// Runs without convergence analytics (nil Converge) stay zero-valued.
+	if d0 := Diff(runOf(1, nil), runOf(1, nil)); d0.TrialsDelta != 0 || d0.TrialsA != 0 {
+		t.Fatalf("nil-converge diff = %+v", d0)
 	}
 }
 

@@ -41,6 +41,15 @@ type ConvergeReport struct {
 	// Freezes is the per-variable freeze timeline reconstructed from the
 	// events' Froze fields.
 	Freezes []FreezePoint `json:"freezes,omitempty"`
+	// Prior-quality counters (docs/COSTMODEL.md), carried cumulatively on
+	// the trial events when a cost-model prior guided the run: freezes where
+	// the prior's top-ranked candidate won (hits) or lost (misses), candidate
+	// measurements pruning skipped, and the summed rank distance of misses.
+	// All zero for unguided runs.
+	PriorHits           int `json:"prior_hits,omitempty"`
+	PriorMisses         int `json:"prior_misses,omitempty"`
+	PriorPruned         int `json:"prior_pruned,omitempty"`
+	PriorRankInversions int `json:"prior_rank_inversions,omitempty"`
 }
 
 // RegretPoint is one exploration trial's regret sample.
@@ -70,6 +79,19 @@ func convergeFromEvents(events []obs.TrialEvent) *ConvergeReport {
 		}
 		if ev.Drift {
 			r.DriftEvents++
+		}
+		// The event fields are cumulative, so the run totals are maxima.
+		if ev.PriorHits > r.PriorHits {
+			r.PriorHits = ev.PriorHits
+		}
+		if ev.PriorMisses > r.PriorMisses {
+			r.PriorMisses = ev.PriorMisses
+		}
+		if ev.PriorPruned > r.PriorPruned {
+			r.PriorPruned = ev.PriorPruned
+		}
+		if ev.PriorRankInv > r.PriorRankInversions {
+			r.PriorRankInversions = ev.PriorRankInv
 		}
 		for _, id := range ev.Froze {
 			r.Freezes = append(r.Freezes, FreezePoint{Trial: ev.Trial, Batch: ev.Batch, VarID: id})

@@ -30,6 +30,16 @@ type DiffReport struct {
 	ByClass    map[string]float64 `json:"by_class"`
 	ByPhase    map[string]float64 `json:"by_phase"`
 	ByCategory map[string]float64 `json:"by_category"`
+	// Convergence deltas (B − A): exploration effort is where a cost-model
+	// prior pays off, so `-diff cold.jsonl guided.jsonl` surfaces the trial
+	// saving directly. Zero-valued when neither run carries convergence
+	// analytics.
+	TrialsA             int `json:"trials_a"`
+	TrialsB             int `json:"trials_b"`
+	TrialsDelta         int `json:"trials_delta"`
+	TrialsToFreezeA     int `json:"trials_to_freeze_a"`
+	TrialsToFreezeB     int `json:"trials_to_freeze_b"`
+	TrialsToFreezeDelta int `json:"trials_to_freeze_delta"`
 	// TopClass is the class with the largest absolute delta and
 	// TopClassShare its fraction of |AlignedDeltaUs| (the "blame" line).
 	// When the aligned delta is zero — identical runs, or per-class deltas
@@ -77,6 +87,14 @@ func Diff(a, b *Run) *DiffReport {
 			d.UnalignedAUs += ba.WallUs
 		}
 	}
+	if a.Converge != nil {
+		d.TrialsA, d.TrialsToFreezeA = a.Converge.Trials, a.Converge.TrialsToFreeze
+	}
+	if b.Converge != nil {
+		d.TrialsB, d.TrialsToFreezeB = b.Converge.Trials, b.Converge.TrialsToFreeze
+	}
+	d.TrialsDelta = d.TrialsB - d.TrialsA
+	d.TrialsToFreezeDelta = d.TrialsToFreezeB - d.TrialsToFreezeA
 	d.TopClass, d.TopClassShare = topClass(d.ByClass, d.AlignedDeltaUs)
 	return d
 }

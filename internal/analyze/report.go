@@ -125,6 +125,15 @@ func WriteConvergeReport(w io.Writer, run *Run) error {
 		c.ExploreUs, c.WiredUs, c.WiredBatches, c.BestWiredUs, c.MeanWiredUs); err != nil {
 		return err
 	}
+	// The prior line appears only for cost-model-guided runs, so unguided
+	// reports are byte-identical to before priors existed.
+	if c.PriorHits+c.PriorMisses+c.PriorPruned > 0 {
+		if _, err := fmt.Fprintf(w,
+			"prior: %d hit(s) / %d miss(es) at freeze, %d candidate(s) pruned, rank inversions %d\n",
+			c.PriorHits, c.PriorMisses, c.PriorPruned, c.PriorRankInversions); err != nil {
+			return err
+		}
+	}
 	if len(c.Regret) > 0 {
 		if _, err := fmt.Fprintf(w, "cumulative regret vs best wired: %.2f µs\n", c.CumRegretUs); err != nil {
 			return err
@@ -152,6 +161,11 @@ func WriteDiffReport(w io.Writer, d *DiffReport) error {
 	}
 	if _, err := fmt.Fprintf(w, "aligned %d batches (delta %+.2f µs; unaligned A %.2f µs, B %.2f µs)\n",
 		d.AlignedBatches, d.AlignedDeltaUs, d.UnalignedAUs, d.UnalignedBUs); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "convergence: trials %d → %d (%+d), to-freeze %d → %d (%+d)\n",
+		d.TrialsA, d.TrialsB, d.TrialsDelta,
+		d.TrialsToFreezeA, d.TrialsToFreezeB, d.TrialsToFreezeDelta); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintln(w, "delta by critical-path class:"); err != nil {

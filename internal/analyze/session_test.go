@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"astra/internal/analyze"
+	"astra/internal/costmodel"
 	"astra/internal/distsim"
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
@@ -249,6 +250,38 @@ func TestConvergeReportMatchesSession(t *testing.T) {
 		if p.RegretUs != p.BatchUs-c.BestWiredUs {
 			t.Fatalf("regret point %+v inconsistent with best %v", p, c.BestWiredUs)
 		}
+	}
+}
+
+// TestConvergeReportCarriesPriorCounters closes the telemetry loop for
+// cost-model-guided sessions: the explorer's PriorStats must arrive in the
+// event log and land, exactly, in the converge report's prior counters.
+func TestConvergeReportCarriesPriorCounters(t *testing.T) {
+	model := costmodel.NewModel()
+	s, events := runEvents(t, "sublstm", "", 1, 2, func(cfg *wire.SessionConfig) {
+		// ModeFull with an initially-empty model: the session trains it
+		// online, so later variables are planned from earlier measurements.
+		cfg.Prior = costmodel.NewPlanner(model,
+			costmodel.Meta{Model: "sublstm", Scale: "tiny", Batch: 2, Workers: 1},
+			costmodel.PlannerConfig{Mode: costmodel.ModeFull})
+	})
+	ps := s.Exp.PriorStats()
+	if ps.Hits+ps.Misses == 0 {
+		t.Fatal("guided session scored no plans; the test exercises nothing")
+	}
+	run, err := analyze.AnalyzeRun(events, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := run.Converge
+	if c.PriorHits != ps.Hits || c.PriorMisses != ps.Misses ||
+		c.PriorPruned != ps.Pruned || c.PriorRankInversions != ps.RankInversions {
+		t.Fatalf("converge prior counters %d/%d/%d/%d, session reports %d/%d/%d/%d",
+			c.PriorHits, c.PriorMisses, c.PriorPruned, c.PriorRankInversions,
+			ps.Hits, ps.Misses, ps.Pruned, ps.RankInversions)
+	}
+	if model.Updates() == 0 {
+		t.Fatal("session did not train the attached cost model")
 	}
 }
 

@@ -20,8 +20,10 @@ package distsim
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
+	"astra/internal/adapt"
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
 	"astra/internal/models"
@@ -134,6 +136,16 @@ type Result struct {
 	// with — the explorer's frozen choice, or the fixed one.
 	Bucket    string
 	Placement string
+	// Bindings lists every frozen adaptive variable as "id=label", sorted —
+	// the full wired configuration, for asserting two explorations froze
+	// identically (e.g. that cost-model pruning never changed the outcome).
+	Bindings []string
+	// Prior reports cost-model prior quality when the cluster ran with one
+	// attached (zero otherwise), and PrunedChoices lists every "var=label"
+	// the prior pruned — the audit trail proving no reference winner was
+	// ever excluded from measurement.
+	Prior         adapt.PriorStats
+	PrunedChoices []string
 }
 
 // Cluster runs Astra-wired data-parallel steps of a model across worker
@@ -146,6 +158,10 @@ type Cluster struct {
 	PerOpCPUUs float64
 	// Seed offsets the simulated devices' RNG (worker ranks derive from it).
 	Seed uint64
+	// Prior optionally attaches a cost-model prior (internal/costmodel) to
+	// every session the cluster runs: exploration is re-ranked and pruned
+	// by predicted cost, and measurements train the model in return.
+	Prior adapt.Prior
 }
 
 func (c *Cluster) preset() enumerate.Preset {
@@ -205,6 +221,7 @@ func (c *Cluster) session(m *models.Model, n int, adaptComm bool, sched Schedule
 		Options: opts,
 		Runner:  wire.RunnerConfig{PerOpCPUUs: c.perOp()},
 		Comm:    comm,
+		Prior:   c.Prior,
 	}), nil
 }
 
@@ -237,6 +254,14 @@ func (c *Cluster) run(m *models.Model, globalBatch, n int, adaptComm bool, sched
 	}
 	if v := s.Plan.CommPlaceVar; v != nil {
 		res.Placement = v.CurrentLabel()
+	}
+	if s.Exp != nil {
+		res.Prior = s.Exp.PriorStats()
+		res.PrunedChoices = s.Exp.PrunedChoices()
+		for _, v := range s.Exp.Vars() {
+			res.Bindings = append(res.Bindings, v.ID+"="+v.CurrentLabel())
+		}
+		sort.Strings(res.Bindings)
 	}
 	if n == 1 {
 		res.Bucket, res.Placement = "", ""

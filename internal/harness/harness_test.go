@@ -30,7 +30,7 @@ func cellF(t *testing.T, tab *Table, row, col int) float64 {
 }
 
 func TestNamesAndUnknown(t *testing.T) {
-	if len(Names()) != 20 {
+	if len(Names()) != 21 {
 		t.Fatalf("experiments = %v", Names())
 	}
 	if _, err := Run("tableX", Options{}); err == nil {

@@ -48,6 +48,7 @@ var Scope = []string{
 	"internal/profile",
 	"internal/obs",
 	"internal/parallel",
+	"internal/costmodel",
 }
 
 func init() { lint.Register(rule{}) }

@@ -54,6 +54,7 @@ var Scope = []string{
 	"internal/analyze",
 	"internal/whatif",
 	"internal/serve",
+	"internal/costmodel",
 	"internal/lint",
 }
 

@@ -62,6 +62,16 @@ type TrialEvent struct {
 	// drive the analyzer's convergence report.
 	Froze          []string `json:"froze,omitempty"`
 	Reexplorations int      `json:"reexplorations,omitempty"`
+	// Cost-model prior quality, cumulative as of this batch (all zero when
+	// the session ran without a prior): PriorHits counts freezes whose
+	// measured best was the prior's top-ranked candidate, PriorMisses the
+	// rest, PriorPruned candidates skipped unmeasured, and PriorRankInv the
+	// summed rank positions of measured bests on misses (0 = perfect
+	// ranking). See docs/COSTMODEL.md.
+	PriorHits    int `json:"prior_hits,omitempty"`
+	PriorMisses  int `json:"prior_misses,omitempty"`
+	PriorPruned  int `json:"prior_pruned,omitempty"`
+	PriorRankInv int `json:"prior_rank_inversions,omitempty"`
 	// Profiles carries the full per-worker kernel timelines of the batch
 	// (one BatchProfile per data-parallel rank). This is what
 	// internal/analyze consumes to rebuild the dependency graph, so the

@@ -490,6 +490,26 @@ func (ix *Index) snapshot() map[Key]Stats {
 	return out
 }
 
+// Entry is one stored (key, statistics) pair of a sorted snapshot.
+type Entry struct {
+	Key   Key
+	Stats Stats
+}
+
+// Entries returns a point-in-time copy of every stored measurement, sorted
+// by key. Bulk consumers that must stay deterministic regardless of shard
+// layout — cost-model training over a fleet store, audits, exports — iterate
+// this instead of the shards.
+func (ix *Index) Entries() []Entry {
+	snap := ix.snapshot()
+	out := make([]Entry, 0, len(snap))
+	for k, st := range snap { // nodeterm:ok sorted below
+		out = append(out, Entry{Key: k, Stats: st})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // Dump renders the index sorted by key, for reports and debugging.
 func (ix *Index) Dump() string {
 	snap := ix.snapshot()

@@ -40,6 +40,15 @@ type Job struct {
 	// Steps is how many wired mini-batches to run after convergence
 	// (default 1; the last one's time is the reported WiredUs).
 	Steps int `json:"steps,omitempty"`
+	// Prior opts the session into cost-model guidance (see
+	// docs/COSTMODEL.md): the tenant's shared model re-ranks and prunes
+	// candidate visits, typically cutting trials-to-freeze on shapes the
+	// tenant has explored neighbours of. Off by default — every session
+	// still trains the tenant's model either way, but only opted-in jobs
+	// let it shape exploration, so the fleet's exact warm-start guarantees
+	// (shared == solo, byte-identical results) are untouched unless a
+	// tenant asks.
+	Prior bool `json:"prior,omitempty"`
 }
 
 // Job-field limits: hostile requests must not be able to queue unbounded

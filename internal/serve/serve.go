@@ -27,6 +27,8 @@ import (
 	"sort"
 	"sync"
 
+	"astra/internal/adapt"
+	"astra/internal/costmodel"
 	"astra/internal/distsim"
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
@@ -122,6 +124,14 @@ type Result struct {
 	FleetHitRate float64 `json:"fleet_hit_rate"`
 	// Workers echoes the job's data-parallel degree.
 	Workers int `json:"workers"`
+	// Prior echoes whether the job opted into cost-model guidance; the
+	// counters below score the model's plans over this session (see
+	// docs/COSTMODEL.md). They are zero for default jobs: ModeTrain never
+	// plans, it only learns.
+	Prior       bool `json:"prior,omitempty"`
+	PriorHits   int  `json:"prior_hits,omitempty"`
+	PriorMisses int  `json:"prior_misses,omitempty"`
+	PriorPruned int  `json:"prior_pruned,omitempty"`
 }
 
 // sessionOutcome is what one executed session reports back to Submit.
@@ -129,6 +139,7 @@ type sessionOutcome struct {
 	trials    int
 	wiredUs   float64
 	simTimeUs float64
+	prior     adapt.PriorStats
 }
 
 // sigState is the fleet store's per-signature bookkeeping.
@@ -149,6 +160,12 @@ type Server struct {
 	mu   sync.Mutex
 	sigs map[string]*sigState
 	seq  int64
+	// priors holds one shared cost model per tenant namespace (see
+	// docs/COSTMODEL.md): every session trains its tenant's model, and
+	// sessions submitted with Job.Prior let it rank and prune exploration.
+	// Bounded at maxPriorTenants; overflow tenants get a private throwaway
+	// model so a tenant-name flood cannot grow server memory.
+	priors map[string]*costmodel.Model
 
 	// exec runs one admitted session; tests substitute it to drive
 	// admission and eviction edge cases without real explorations.
@@ -161,16 +178,23 @@ type Server struct {
 	mInflight, mQueued                *obs.Gauge
 	mStoreKeys, mStoreHitRate         *obs.Gauge
 	mWiredUs                          *obs.Histogram
+
+	mPriorJobs, mPriorHits    *obs.Counter
+	mPriorMisses, mPriorPrune *obs.Counter
 }
+
+// maxPriorTenants bounds the per-tenant cost-model map.
+const maxPriorTenants = 64
 
 // NewServer builds a server with an empty fleet store.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		fleet: profile.NewIndex(),
-		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-		sigs:  map[string]*sigState{},
+		cfg:    cfg,
+		fleet:  profile.NewIndex(),
+		adm:    newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		sigs:   map[string]*sigState{},
+		priors: map[string]*costmodel.Model{},
 	}
 	// Mid-run snapshot imports must merge and preserve the fleet counters;
 	// the historical replace+reset Load semantics would silently zero the
@@ -195,7 +219,28 @@ func NewServer(cfg Config) *Server {
 	s.mStoreKeys = reg.Gauge("serve.store_keys", "measurements in the fleet profile store")
 	s.mStoreHitRate = reg.Gauge("serve.store_hit_rate", "fleet profile store lookup hit rate")
 	s.mWiredUs = reg.Histogram("serve.wired_us", "wired mini-batch times of completed jobs")
+	s.mPriorJobs = reg.Counter("serve.prior_jobs", "completed jobs that opted into cost-model guidance")
+	s.mPriorHits = reg.Counter("serve.prior_hits", "freezes where the cost model's top prediction was the measured best")
+	s.mPriorMisses = reg.Counter("serve.prior_misses", "freezes where the cost model's top prediction lost to a measurement")
+	s.mPriorPrune = reg.Counter("serve.prior_pruned", "candidate measurements skipped by cost-model pruning")
 	return s
+}
+
+// priorModel returns tenant's shared cost model, creating it on first use.
+// Past maxPriorTenants distinct tenants, new tenants get a private model that
+// is not retained — guidance still works within the session, but nothing
+// accumulates, and server memory stays bounded.
+func (s *Server) priorModel(tenant string) *costmodel.Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.priors[tenant]; ok {
+		return m
+	}
+	m := costmodel.NewModel()
+	if len(s.priors) < maxPriorTenants {
+		s.priors[tenant] = m
+	}
+	return m
 }
 
 // Registry returns the metrics registry the server reports into.
@@ -301,6 +346,12 @@ func (s *Server) Submit(ctx context.Context, job Job, emit func(Event)) (*Result
 	s.mCompleted.Inc()
 	s.mTrials.Add(float64(out.trials))
 	s.mWiredUs.Observe(out.wiredUs)
+	if j.Prior {
+		s.mPriorJobs.Inc()
+	}
+	s.mPriorHits.Add(float64(out.prior.Hits))
+	s.mPriorMisses.Add(float64(out.prior.Misses))
+	s.mPriorPrune.Add(float64(out.prior.Pruned))
 	s.maybeEvict()
 
 	res := &Result{
@@ -314,6 +365,10 @@ func (s *Server) Submit(ctx context.Context, job Job, emit func(Event)) (*Result
 		StoreKeys:    s.fleet.Len(),
 		FleetHitRate: s.fleet.HitRate(),
 		Workers:      j.Workers,
+		Prior:        j.Prior,
+		PriorHits:    out.prior.Hits,
+		PriorMisses:  out.prior.Misses,
+		PriorPruned:  out.prior.Pruned,
 	}
 	if cold > 0 {
 		res.WarmDeltaPct = 100 * math.Abs(out.wiredUs-cold) / cold
@@ -353,6 +408,15 @@ func (s *Server) runSession(ctx context.Context, j Job, sig string, emit func(Ev
 		eopts.CommAdapt = true
 		eopts.Workers = j.Workers
 	}
+	// Every session trains its tenant's cost model (ModeTrain plans nothing,
+	// so default jobs behave exactly as before this model existed); a job
+	// submitted with Prior lets the model rank and margin-prune candidates.
+	mode := costmodel.ModeTrain
+	if j.Prior {
+		mode = costmodel.ModeFull
+	}
+	planner := costmodel.NewPlanner(s.priorModel(j.Tenant), costmodel.MetaFromSignature(sig),
+		costmodel.PlannerConfig{Mode: mode})
 	sess := wire.NewSession(m, wire.SessionConfig{
 		Device:         gpusim.P100(),
 		Options:        eopts,
@@ -360,6 +424,7 @@ func (s *Server) runSession(ctx context.Context, j Job, sig string, emit func(Ev
 		Comm:           comm,
 		Index:          s.fleet,
 		ProfileContext: sig,
+		Prior:          planner,
 	})
 	out := &sessionOutcome{}
 	for !sess.Done() {
@@ -390,6 +455,9 @@ func (s *Server) runSession(ctx context.Context, j Job, sig string, emit func(Ev
 		emit(Event{Type: "wired", Tenant: j.Tenant, Step: i, BatchUs: res.TotalUs})
 	}
 	out.trials = sess.Trials
+	if sess.Exp != nil {
+		out.prior = sess.Exp.PriorStats()
+	}
 	return out, nil
 }
 
@@ -449,6 +517,18 @@ type Stats struct {
 	WarmHitRate  float64    `json:"warm_hit_rate"`
 	Trials       float64    `json:"trials"`
 	Signatures   []SigStats `json:"signatures"`
+	// Prior-quality rollup across all sessions (see docs/COSTMODEL.md):
+	// PriorHitRate is hits/(hits+misses) — how often the cost model's top
+	// prediction was the measured best at freeze time. ModelTenants and
+	// ModelUpdates size the per-tenant cost models (every session trains
+	// one, whether or not it opted into guidance).
+	PriorJobs    float64 `json:"prior_jobs"`
+	PriorHits    float64 `json:"prior_hits"`
+	PriorMisses  float64 `json:"prior_misses"`
+	PriorHitRate float64 `json:"prior_hit_rate"`
+	PriorPruned  float64 `json:"prior_pruned"`
+	ModelTenants int     `json:"model_tenants"`
+	ModelUpdates int64   `json:"model_updates"`
 }
 
 // StatsSnapshot captures the server's current state (signatures sorted).
@@ -465,11 +545,22 @@ func (s *Server) StatsSnapshot() Stats {
 		WarmHits:     s.mWarmHits.Value(),
 		WarmMisses:   s.mWarmMisses.Value(),
 		Trials:       s.mTrials.Value(),
+		PriorJobs:    s.mPriorJobs.Value(),
+		PriorHits:    s.mPriorHits.Value(),
+		PriorMisses:  s.mPriorMisses.Value(),
+		PriorPruned:  s.mPriorPrune.Value(),
 	}
 	if n := st.WarmHits + st.WarmMisses; n > 0 {
 		st.WarmHitRate = st.WarmHits / n
 	}
+	if n := st.PriorHits + st.PriorMisses; n > 0 {
+		st.PriorHitRate = st.PriorHits / n
+	}
 	s.mu.Lock()
+	st.ModelTenants = len(s.priors)
+	for _, m := range s.priors { // nodeterm:ok order-independent sum
+		st.ModelUpdates += m.Updates()
+	}
 	for sig, e := range s.sigs { // nodeterm:ok sorted below
 		st.Signatures = append(st.Signatures, SigStats{
 			Signature: sig, Completed: e.completed, ColdWiredUs: e.coldWiredUs, Active: e.active,

@@ -249,6 +249,130 @@ func TestProfileSnapshotSeedsWarmStarts(t *testing.T) {
 	}
 }
 
+// TestPriorGuidedJobs covers the per-tenant cost-model path end to end
+// (docs/COSTMODEL.md): every session trains its tenant's model, an opted-in
+// job of a *neighbour* shape is ranked/pruned by it without changing the
+// wired result, an opted-in job from a tenant with no history degrades to
+// exactly cold behaviour, and the prior-quality rollup lands in Stats.
+func TestPriorGuidedJobs(t *testing.T) {
+	teach := Job{Tenant: "alice", Model: "sublstm", Level: "FK", Batch: 4}
+	target := Job{Tenant: "alice", Model: "sublstm", Level: "FK", Batch: 8}
+
+	// Cold reference for the target shape, on a fresh server.
+	ref := NewServer(Config{})
+	cold, err := ref.Submit(context.Background(), target, nil)
+	if err != nil {
+		t.Fatalf("cold reference failed: %v", err)
+	}
+
+	s := NewServer(Config{})
+	if _, err := s.Submit(context.Background(), teach, nil); err != nil {
+		t.Fatalf("teacher job failed: %v", err)
+	}
+
+	// Same tenant, neighbour shape (batch 8 vs 4 — a different signature, so
+	// no fleet-store warm start), opted into guidance: every prediction comes
+	// through the model's neighbour-shape backoff.
+	guided := target
+	guided.Prior = true
+	res, err := s.Submit(context.Background(), guided, nil)
+	if err != nil {
+		t.Fatalf("guided submit failed: %v", err)
+	}
+	if res.WarmStart {
+		t.Fatal("guided job warm-started; the shapes must differ for this test")
+	}
+	if !res.Prior {
+		t.Fatal("result did not echo the prior opt-in")
+	}
+	if res.PriorHits+res.PriorMisses == 0 && res.PriorPruned == 0 {
+		t.Fatalf("guided job shows no model engagement: %+v", res)
+	}
+	if res.Trials > cold.Trials {
+		t.Fatalf("guided exploration took %d trials, cold took %d", res.Trials, cold.Trials)
+	}
+	// The serving guarantee extends to guided jobs: guidance may only change
+	// the path to the answer, never the answer.
+	if res.WiredUs != cold.WiredUs {
+		t.Fatalf("guided wired %v != cold wired %v", res.WiredUs, cold.WiredUs)
+	}
+
+	// A tenant with no history opting in: the model starts empty but trains
+	// online from the session's own early trials, so later variables still
+	// get (self-)guidance. The invariant is safety, not inertness: the wired
+	// result must match cold exactly.
+	fresh := Job{Tenant: "carol", Model: "sublstm", Level: "FK", Batch: 8, Prior: true}
+	f := NewServer(Config{})
+	fres, err := f.Submit(context.Background(), fresh, nil)
+	if err != nil {
+		t.Fatalf("fresh-tenant guided submit failed: %v", err)
+	}
+	if fres.WiredUs != cold.WiredUs {
+		t.Fatalf("no-history guided wired %v != cold wired %v", fres.WiredUs, cold.WiredUs)
+	}
+	if fres.Trials > cold.Trials {
+		t.Fatalf("no-history guided exploration took %d trials, cold took %d", fres.Trials, cold.Trials)
+	}
+
+	// Stats rollup: the guided job and the model sizes are visible.
+	st := s.StatsSnapshot()
+	if st.PriorJobs != 1 {
+		t.Fatalf("PriorJobs = %v, want 1", st.PriorJobs)
+	}
+	if st.PriorHits != float64(res.PriorHits) || st.PriorMisses != float64(res.PriorMisses) ||
+		st.PriorPruned != float64(res.PriorPruned) {
+		t.Fatalf("stats prior counters %v/%v/%v do not match result %d/%d/%d",
+			st.PriorHits, st.PriorMisses, st.PriorPruned, res.PriorHits, res.PriorMisses, res.PriorPruned)
+	}
+	if n := st.PriorHits + st.PriorMisses; n > 0 && st.PriorHitRate != st.PriorHits/n {
+		t.Fatalf("PriorHitRate = %v, want %v", st.PriorHitRate, st.PriorHits/n)
+	}
+	if st.ModelTenants != 1 {
+		t.Fatalf("ModelTenants = %d, want 1 (alice)", st.ModelTenants)
+	}
+	if st.ModelUpdates == 0 {
+		t.Fatal("ModelUpdates = 0 after two explored sessions")
+	}
+}
+
+// TestDefaultJobsUnchangedByTenantModel: a default (non-Prior) job must be
+// byte-identical whether or not its tenant has a trained cost model —
+// ModeTrain only learns, it never plans, so the fleet's exact-reuse
+// guarantees hold with no opt-in.
+func TestDefaultJobsUnchangedByTenantModel(t *testing.T) {
+	target := Job{Tenant: "alice", Model: "scrnn", Level: "FK", Batch: 8}
+
+	ref := NewServer(Config{})
+	cold, err := ref.Submit(context.Background(), target, nil)
+	if err != nil {
+		t.Fatalf("reference failed: %v", err)
+	}
+
+	s := NewServer(Config{})
+	// Train alice's model on two neighbour shapes first.
+	for _, b := range []int{2, 4} {
+		j := target
+		j.Batch = b
+		if _, err := s.Submit(context.Background(), j, nil); err != nil {
+			t.Fatalf("teacher batch %d failed: %v", b, err)
+		}
+	}
+	res, err := s.Submit(context.Background(), target, nil)
+	if err != nil {
+		t.Fatalf("default submit failed: %v", err)
+	}
+	if res.Trials != cold.Trials || res.WiredUs != cold.WiredUs {
+		t.Fatalf("default job perturbed by tenant model: %d trials / %v µs, want %d / %v",
+			res.Trials, res.WiredUs, cold.Trials, cold.WiredUs)
+	}
+	if res.Prior || res.PriorHits+res.PriorMisses+res.PriorPruned != 0 {
+		t.Fatalf("default job reported prior activity: %+v", res)
+	}
+	if st := s.StatsSnapshot(); st.PriorJobs != 0 {
+		t.Fatalf("PriorJobs = %v after default-only jobs, want 0", st.PriorJobs)
+	}
+}
+
 // TestHTTPEndToEnd drives the full HTTP surface: streaming submit,
 // single-shot submit, stats, metrics, health and the profile round trip —
 // through a real HTTP server and the package's own client.

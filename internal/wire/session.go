@@ -228,6 +228,14 @@ type SessionConfig struct {
 	// off each other's measurements (the paper's §5 shared profile store).
 	// Exploration behaviour is invariant to its value.
 	ProfileContext string
+	// Prior attaches a learned cost model to the explorer (see
+	// internal/costmodel and docs/COSTMODEL.md): candidate visit order is
+	// re-ranked by predicted cost and dominated candidates may be pruned,
+	// cutting trials-to-freeze; the explorer's measurements train the
+	// model in return (including post-drift re-measurements, so a drift
+	// thaw re-plans from refreshed knowledge). nil disables the prior;
+	// frozen choices are measured bests either way.
+	Prior adapt.Prior
 	// SkipVerify disables the plan verifier. By default the session
 	// verifies the graph, unit partition and every allocation strategy at
 	// wire time, and each explored configuration before measuring it;
@@ -282,7 +290,7 @@ func NewSession(m *models.Model, cfg SessionConfig) *Session {
 		Noisy:            cfg.Device.Autoboost || cfg.Device.Faults.Enabled(),
 	}
 	if plan.Tree != nil {
-		s.Exp = adapt.NewExplorerAt(plan.Tree, s.Ix, cfg.ProfileContext)
+		s.Exp = adapt.NewExplorerPrior(plan.Tree, s.Ix, cfg.ProfileContext, cfg.Prior)
 	}
 	if !cfg.SkipVerify {
 		s.verifyOn = true
@@ -516,8 +524,10 @@ func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]str
 	// One structured record per mini-batch, carrying the full per-worker
 	// kernel profiles — an event log alone is enough for astra-analyze.
 	reexp := 0
+	var pstats adapt.PriorStats
 	if s.Exp != nil {
 		reexp = s.Exp.Reexplorations()
+		pstats = s.Exp.PriorStats()
 	}
 	ev := obs.TrialEvent{
 		Batch:          s.Batches,
@@ -541,6 +551,10 @@ func (s *Session) recordBatchTelemetry(res *BatchResult, bindings map[string]str
 		Fabric:         s.Runner.Cfg.Comm.Fabric,
 		Froze:          froze,
 		Reexplorations: reexp,
+		PriorHits:      pstats.Hits,
+		PriorMisses:    pstats.Misses,
+		PriorPruned:    pstats.Pruned,
+		PriorRankInv:   pstats.RankInversions,
 		Profiles:       s.collectProfiles(),
 
 		Model:            s.meta.Model,

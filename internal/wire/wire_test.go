@@ -5,12 +5,26 @@ import (
 	"strings"
 	"testing"
 
+	"astra/internal/adapt"
 	"astra/internal/enumerate"
 	"astra/internal/gpusim"
 	"astra/internal/models"
 	"astra/internal/profile"
 	"astra/internal/tensor"
 )
+
+// recordingPrior counts the prior callbacks a session issues without ever
+// giving advice — attaching it must not change exploration at all.
+type recordingPrior struct {
+	observed    int
+	invalidated int
+}
+
+func (r *recordingPrior) Plan(ctx, varID string, labels []string) adapt.PriorPlan {
+	return adapt.PriorPlan{}
+}
+func (r *recordingPrior) Observe(ctx, varID, label string, us float64) { r.observed++ }
+func (r *recordingPrior) Invalidate()                                  { r.invalidated++ }
 
 func tinySession(t *testing.T, name string, preset enumerate.Preset, eval bool) *Session {
 	t.Helper()
@@ -115,30 +129,42 @@ func TestDriftWatchdogThawsAndRewiresInSession(t *testing.T) {
 	// batch GPU-bound, so a clock throttle actually moves the batch time
 	// (a dispatch-bound tiny model hides kernel slowdowns entirely).
 	cfg := models.Config{Batch: 16, SeqLen: 4, Hidden: 2048, Embed: 256, Vocab: 100, Embedding: true, Backward: true}
-	mkSession := func(faults gpusim.FaultConfig) *Session {
+	mkSession := func(faults gpusim.FaultConfig, prior adapt.Prior) *Session {
 		dev := gpusim.P100()
 		dev.Faults = faults
 		return NewSession(build(cfg), SessionConfig{
 			Device:  dev,
 			Options: enumerate.PresetOptions(enumerate.PresetFKS),
 			Runner:  RunnerConfig{PerOpCPUUs: 2},
+			Prior:   prior,
 		})
 	}
 
 	// Dry run to learn how many batches exploration takes for this model,
 	// so the throttle window can be placed a few batches into wired phase.
-	dry := mkSession(gpusim.FaultConfig{})
+	dry := mkSession(gpusim.FaultConfig{}, nil)
 	dry.Explore()
 
+	// The attached prior must see the whole story too: observations during
+	// both explorations, and an Invalidate when the thaw evicts the
+	// measurements it was trained on (docs/COSTMODEL.md, drift feedback).
+	rec := &recordingPrior{}
 	s := mkSession(gpusim.FaultConfig{
 		ThrottleStartBatch: dry.Batches + 5,
 		ThrottleFactor:     1.5, // open-ended window: throttled to session end
-	})
+	}, rec)
 	s.Drift = DriftConfig{Enabled: true}
 
 	firstTrials := s.Explore()
 	if firstTrials != dry.Trials {
 		t.Fatalf("fault-config session explored %d trials, dry run %d", firstTrials, dry.Trials)
+	}
+	fedCold := rec.observed
+	if fedCold == 0 {
+		t.Fatal("prior saw no observations during exploration")
+	}
+	if rec.invalidated != 0 {
+		t.Fatalf("prior invalidated %d times before any drift", rec.invalidated)
 	}
 	preDrift := s.Step().TotalUs
 	for i := 0; i < 100 && s.DriftEvents == 0; i++ {
@@ -153,6 +179,9 @@ func TestDriftWatchdogThawsAndRewiresInSession(t *testing.T) {
 	if s.Exp.Reexplorations() != 1 {
 		t.Fatalf("reexplorations = %d, want 1", s.Exp.Reexplorations())
 	}
+	if rec.invalidated != 1 {
+		t.Fatalf("drift thaw invalidated the prior %d times, want 1", rec.invalidated)
+	}
 	// Re-exploration must converge again under the throttled clock…
 	extra := s.Explore()
 	if s.Err() != nil {
@@ -160,6 +189,9 @@ func TestDriftWatchdogThawsAndRewiresInSession(t *testing.T) {
 	}
 	if extra <= firstTrials {
 		t.Fatalf("total trials %d did not grow past first exploration %d", extra, firstTrials)
+	}
+	if rec.observed <= fedCold {
+		t.Fatalf("re-exploration fed the prior no fresh measurements (%d then, %d now)", fedCold, rec.observed)
 	}
 	// …and the re-wired schedule runs stably: the watchdog re-arms on the
 	// new expectation, so the (still throttled) steady state is not drift.
